@@ -1,0 +1,73 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+)
+
+// freePorts reserves n distinct loopback ports by listening and closing.
+func freePorts(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestThreeNodeRingEndToEnd runs three ringnode instances in-process on
+// loopback: each takes the lock and publishes through the total order.
+func TestThreeNodeRingEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up a real TCP ring")
+	}
+	addrs := freePorts(t, 3)
+	peers := addrs[0] + "," + addrs[1] + "," + addrs[2]
+
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for id := 0; id < 3; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[id] = run([]string{
+				"-id", fmt.Sprint(id),
+				"-peers", peers,
+				"-locks", "2",
+				"-pubs", "2",
+				"-wait", "600ms",
+				"-timeout", "30s",
+			})
+		}()
+	}
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			t.Errorf("node %d: %v", id, err)
+		}
+	}
+}
+
+func TestRunArgValidation(t *testing.T) {
+	if err := run([]string{"-peers", "onlyone:1"}); err == nil {
+		t.Error("single peer must fail")
+	}
+	if err := run([]string{"-id", "9", "-peers", "a:1,b:2"}); err == nil {
+		t.Error("id out of range must fail")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag must fail")
+	}
+}

@@ -1,0 +1,97 @@
+// Command tokensim runs the simulation experiments that reproduce the
+// paper's evaluation (Figures 9 and 10) and the §4.4 ablations, printing
+// the same series the paper plots.
+//
+// Usage:
+//
+//	tokensim -exp fig9                # one experiment (see -list)
+//	tokensim -exp all                 # everything
+//	tokensim -exp fig10 -csv          # CSV instead of a table
+//	tokensim -exp fig9 -paper         # paper-scale runs (slow)
+//	tokensim -exp fig9 -requests 5000 # custom scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"adaptivetoken/internal/bench"
+	"adaptivetoken/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tokensim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tokensim", flag.ContinueOnError)
+	var (
+		exp      = fs.String("exp", "fig9", "experiment id, or \"all\"")
+		list     = fs.Bool("list", false, "list experiment ids and exit")
+		csv      = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		paper    = fs.Bool("paper", false, "paper-scale runs (≥1000 rounds per point; slow)")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		requests = fs.Int("requests", 0, "requests per run (0 = preset default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, id := range bench.IDs() {
+			fmt.Fprintln(out, id)
+		}
+		return nil
+	}
+
+	opts := bench.DefaultOptions()
+	if *paper {
+		opts = bench.PaperOptions()
+	}
+	opts.Seed = *seed
+	if *requests > 0 {
+		opts.Requests = *requests
+		opts.MaxTime = sim.Time(*requests) * 10_000
+	}
+
+	render := func(t bench.Table) {
+		if *csv {
+			fmt.Fprint(out, t.CSV())
+		} else {
+			fmt.Fprintln(out, t.Format())
+		}
+	}
+
+	if *exp == "all" {
+		tables, err := bench.All(opts)
+		if err != nil {
+			return err
+		}
+		ids := make([]string, 0, len(tables))
+		for id := range tables {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			render(tables[id])
+		}
+		return nil
+	}
+
+	fn, ok := bench.Lookup(*exp)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (use -list)", *exp)
+	}
+	tbl, err := fn(opts)
+	if err != nil {
+		return err
+	}
+	render(tbl)
+	return nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fig9", "fig10", "trapgc"} {
+		if !strings.Contains(sb.String(), id) {
+			t.Errorf("missing %q in list:\n%s", id, sb.String())
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "saturation", "-requests", "64"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Saturation") || !strings.Contains(sb.String(), "binsearch") {
+		t.Errorf("output:\n%s", sb.String())
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "saturation", "-requests", "64", "-csv"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "n,") {
+		t.Errorf("csv output:\n%s", sb.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "nope"}, &sb); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &sb); err == nil {
+		t.Fatal("bad flag must fail")
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	var sb strings.Builder
+	if err := run([]string{"-exp", "all", "-requests", "150"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"Figure 9", "Figure 10", "trap GC", "Theorem 3"} {
+		if !strings.Contains(sb.String(), frag) {
+			t.Errorf("missing %q in -exp all output", frag)
+		}
+	}
+}

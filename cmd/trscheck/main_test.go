@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func small() []string {
+	return []string{"-n", "2", "-b", "1", "-p", "2"}
+}
+
+func TestRunExplore(t *testing.T) {
+	var sb strings.Builder
+	if err := run(small(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"BinarySearch", "Search", "MessagePassingRing", "all checks passed"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q:\n%s", frag, out)
+		}
+	}
+	if strings.Contains(out, "VIOLATION") {
+		t.Errorf("unexpected violation:\n%s", out)
+	}
+}
+
+func TestRunRefine(t *testing.T) {
+	var sb strings.Builder
+	if err := run(append(small(), "-refine"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "BinarySearch⊑S1") {
+		t.Errorf("missing refinement line:\n%s", sb.String())
+	}
+}
+
+func TestRunRules(t *testing.T) {
+	var sb strings.Builder
+	if err := run(append(small(), "-rules"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "System BinarySearch") {
+		t.Errorf("missing rules:\n%s", sb.String())
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	var sb strings.Builder
+	if err := run(append(small(), "-trace", "binarysearch", "-steps", "6"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "[rule") {
+		t.Errorf("missing reduction steps:\n%s", sb.String())
+	}
+}
+
+func TestRunTraceUnknownSystem(t *testing.T) {
+	var sb strings.Builder
+	if err := run(append(small(), "-trace", "nonesuch"), &sb); err == nil {
+		t.Fatal("unknown system must fail")
+	}
+}
+
+func TestRunBadParams(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-n", "0"}, &sb); err == nil {
+		t.Fatal("invalid params must fail")
+	}
+	if err := run([]string{"-what"}, &sb); err == nil {
+		t.Fatal("bad flag must fail")
+	}
+}

@@ -1,0 +1,3 @@
+module adaptivetoken
+
+go 1.22

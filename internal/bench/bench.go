@@ -1,0 +1,612 @@
+// Package bench is the experiment harness that regenerates the paper's
+// evaluation (§4.3) and the ablations its §4.4 optimization discussion
+// implies:
+//
+//   - Figure 9 — fixed load (one request per 10 time units on average),
+//     sweeping the number of processors: the ring's average responsiveness
+//     approaches the request gap while BinarySearch stays bounded by log n;
+//   - Figure 10 — fixed n = 100, decreasing load: the ring approaches
+//     n/2 = 50 while BinarySearch approaches log n from below;
+//   - ablations for directed search, trap GC, adaptive token speed, the
+//     push dual, the gimme/token message ratio, and Theorem 3 fairness.
+//
+// Every experiment returns a Table that renders as an aligned text table or
+// CSV; cmd/tokensim and the root-level benchmarks drive them.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"adaptivetoken/internal/driver"
+	"adaptivetoken/internal/protocol"
+	"adaptivetoken/internal/sim"
+	"adaptivetoken/internal/workload"
+)
+
+// Options tunes experiment scale.
+type Options struct {
+	// Seed drives all randomness.
+	Seed uint64
+	// Requests per simulation run (the paper runs ≥1000 rounds; the
+	// default here is sized for CI).
+	Requests int
+	// MaxTime bounds each run in simulated time units.
+	MaxTime sim.Time
+}
+
+// DefaultOptions returns CI-sized defaults.
+func DefaultOptions() Options {
+	return Options{Seed: 1, Requests: 1500, MaxTime: 5_000_000}
+}
+
+// PaperOptions returns paper-scale settings (≥1000 token rounds per run).
+func PaperOptions() Options {
+	return Options{Seed: 1, Requests: 20_000, MaxTime: 50_000_000}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	if o.Requests <= 0 {
+		o.Requests = d.Requests
+	}
+	if o.MaxTime <= 0 {
+		o.MaxTime = d.MaxTime
+	}
+	return o
+}
+
+// Point is one x position of an experiment with one y value per series.
+type Point struct {
+	X float64
+	Y map[string]float64
+}
+
+// Table is a rendered experiment: named series sampled at the points.
+type Table struct {
+	Name   string
+	XLabel string
+	Series []string
+	Points []Point
+}
+
+// Format renders the table with aligned columns.
+func (t Table) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s\n", t.Name)
+	fmt.Fprintf(&sb, "%-10s", t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(&sb, "  %20s", s)
+	}
+	sb.WriteByte('\n')
+	for _, p := range t.Points {
+		fmt.Fprintf(&sb, "%-10g", p.X)
+		for _, s := range t.Series {
+			fmt.Fprintf(&sb, "  %20.2f", p.Y[s])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t Table) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(t.XLabel)
+	for _, s := range t.Series {
+		sb.WriteByte(',')
+		sb.WriteString(s)
+	}
+	sb.WriteByte('\n')
+	for _, p := range t.Points {
+		fmt.Fprintf(&sb, "%g", p.X)
+		for _, s := range t.Series {
+			fmt.Fprintf(&sb, ",%g", p.Y[s])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// runOne executes one simulation and returns its result summary.
+func runOne(cfg protocol.Config, opts Options, gen workload.Generator) (driver.Result, error) {
+	return runOneDelay(cfg, opts, gen, nil)
+}
+
+// runOneDelay is runOne under a custom message-delay model.
+func runOneDelay(cfg protocol.Config, opts Options, gen workload.Generator, dm sim.DelayModel) (driver.Result, error) {
+	r, err := driver.New(cfg, driver.Options{Seed: opts.Seed, Delay: dm})
+	if err != nil {
+		return driver.Result{}, err
+	}
+	end, err := r.RunWorkload(gen, opts.Requests, opts.MaxTime)
+	if err != nil {
+		return driver.Result{}, fmt.Errorf("%s n=%d: %w", cfg.Variant, cfg.N, err)
+	}
+	return r.Summarize(end), nil
+}
+
+// Figure9 reproduces the paper's Figure 9: average responsiveness under a
+// fixed load (mean request gap 10) as the number of processors grows.
+func Figure9(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	ns := []int{8, 16, 32, 64, 100, 128, 256, 512, 1000}
+	t := Table{
+		Name:   "Figure 9 — responsiveness, fixed load (mean gap 10), sweeping n",
+		XLabel: "n",
+		Series: []string{"ring", "linear", "binsearch", "log2(n)"},
+	}
+	for _, n := range ns {
+		p := Point{X: float64(n), Y: map[string]float64{"log2(n)": math.Log2(float64(n))}}
+		for _, v := range []protocol.Variant{protocol.RingToken, protocol.LinearSearch, protocol.BinarySearch} {
+			res, err := runOne(figureConfig(v, n), opts,
+				workload.Poisson{N: n, MeanGap: 10})
+			if err != nil {
+				return t, err
+			}
+			p.Y[v.String()] = res.Responsiveness.Mean
+		}
+		t.Points = append(t.Points, p)
+	}
+	return t, nil
+}
+
+// Figure10 reproduces Figure 10: average responsiveness at n = 100 as the
+// load decreases (mean request gap grows).
+func Figure10(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	const n = 100
+	gaps := []float64{1, 2, 5, 10, 20, 50, 100, 200, 500}
+	t := Table{
+		Name:   "Figure 10 — responsiveness at n=100, decreasing load",
+		XLabel: "mean-gap",
+		Series: []string{"ring", "binsearch", "log2(n)", "n/2"},
+	}
+	for _, gap := range gaps {
+		p := Point{X: gap, Y: map[string]float64{
+			"log2(n)": math.Log2(n),
+			"n/2":     n / 2,
+		}}
+		for _, v := range []protocol.Variant{protocol.RingToken, protocol.BinarySearch} {
+			res, err := runOne(figureConfig(v, n), opts,
+				workload.Poisson{N: n, MeanGap: gap})
+			if err != nil {
+				return t, err
+			}
+			p.Y[v.String()] = res.Responsiveness.Mean
+		}
+		t.Points = append(t.Points, p)
+	}
+	return t, nil
+}
+
+// figureConfig is the per-variant configuration used by the figure
+// reproductions: the search protocol runs with rotation trap GC (the §4.4
+// satisfaction-record clean-up), without which stale traps make the token
+// bounce off already-served requesters and the log-n bound drowns in
+// vacuous deliveries at large n (the ablation AblationTrapGC quantifies
+// exactly this).
+func figureConfig(v protocol.Variant, n int) protocol.Config {
+	cfg := protocol.Config{Variant: v, N: n}
+	if v != protocol.RingToken {
+		cfg.TrapGC = protocol.GCRotation
+	}
+	return cfg
+}
+
+// AblationDirected compares delegated search (BinarySearch) against the
+// §4.4 directed variant: cheap-message counts per request and waits, across
+// the Figure 10 load sweep.
+func AblationDirected(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	const n = 100
+	gaps := []float64{5, 20, 100, 500}
+	t := Table{
+		Name:   "Ablation — delegated vs directed search (n=100)",
+		XLabel: "mean-gap",
+		Series: []string{
+			"delegated-wait", "directed-wait",
+			"delegated-cheap/req", "directed-cheap/req",
+		},
+	}
+	for _, gap := range gaps {
+		p := Point{X: gap, Y: map[string]float64{}}
+		for _, v := range []protocol.Variant{protocol.BinarySearch, protocol.DirectedSearch} {
+			res, err := runOne(figureConfig(v, n), opts,
+				workload.Poisson{N: n, MeanGap: gap})
+			if err != nil {
+				return t, err
+			}
+			label := "delegated"
+			if v == protocol.DirectedSearch {
+				label = "directed"
+			}
+			cheap := res.Messages["search"] + res.Messages["probe"] + res.Messages["probe-reply"]
+			p.Y[label+"-wait"] = res.Waits.Mean
+			p.Y[label+"-cheap/req"] = float64(cheap) / float64(res.Issued)
+		}
+		t.Points = append(t.Points, p)
+	}
+	return t, nil
+}
+
+// AblationTrapGC compares trap garbage-collection modes: vacuous decorated
+// deliveries (bounces) and total expensive messages per grant.
+func AblationTrapGC(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	const n = 64
+	t := Table{
+		Name:   "Ablation — trap GC (n=64, mean gap 8)",
+		XLabel: "mode",
+		Series: []string{"bounces/grant", "expensive/grant", "wait-mean"},
+	}
+	modes := []protocol.GCMode{protocol.GCNone, protocol.GCRotation, protocol.GCInverse}
+	for i, mode := range modes {
+		cfg := protocol.Config{Variant: protocol.BinarySearch, N: n, TrapGC: mode, TrapTTLRounds: n}
+		res, err := runOne(cfg, opts, workload.Poisson{N: n, MeanGap: 8})
+		if err != nil {
+			return t, err
+		}
+		grants := float64(res.Grants)
+		// A vacuous delivery shows as a token-return beyond one per
+		// grant (inverse GC also routes through the trail, so compare
+		// like with like via expensive totals too).
+		bounces := float64(res.Messages["token-return"]) - grants
+		if bounces < 0 {
+			bounces = 0
+		}
+		expensive := float64(res.Messages["token"] + res.Messages["token-return"])
+		t.Points = append(t.Points, Point{X: float64(i), Y: map[string]float64{
+			"bounces/grant":   bounces / grants,
+			"expensive/grant": expensive / grants,
+			"wait-mean":       res.Waits.Mean,
+		}})
+	}
+	return t, nil
+}
+
+// GCModeLabels maps AblationTrapGC x positions to mode names.
+func GCModeLabels() []string { return []string{"none", "rotation", "inverse"} }
+
+// AblationSpeed sweeps the idle-hold (token speed) settings: token traffic
+// versus waiting time on a lightly loaded ring, including the adaptive
+// §4.4 policy.
+func AblationSpeed(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	const n = 64
+	gen := func() workload.Generator { return workload.Poisson{N: n, MeanGap: 200} }
+	t := Table{
+		Name:   "Ablation — token speed (n=64, mean gap 200)",
+		XLabel: "hold",
+		Series: []string{"token-msgs/req", "wait-mean"},
+	}
+	for _, hold := range []protocol.Time{0, 4, 16, 64} {
+		cfg := figureConfig(protocol.BinarySearch, n)
+		cfg.HoldIdle = hold
+		res, err := runOne(cfg, opts, gen())
+		if err != nil {
+			return t, err
+		}
+		t.Points = append(t.Points, Point{X: float64(hold), Y: map[string]float64{
+			"token-msgs/req": float64(res.Messages["token"]) / float64(res.Issued),
+			"wait-mean":      res.Waits.Mean,
+		}})
+	}
+	// Adaptive policy, reported at x = -1.
+	cfg := figureConfig(protocol.BinarySearch, n)
+	cfg.AdaptiveSpeed = true
+	cfg.MinHold = 1
+	cfg.MaxHold = 256
+	res, err := runOne(cfg, opts, gen())
+	if err != nil {
+		return t, err
+	}
+	t.Points = append(t.Points, Point{X: -1, Y: map[string]float64{
+		"token-msgs/req": float64(res.Messages["token"]) / float64(res.Issued),
+		"wait-mean":      res.Waits.Mean,
+	}})
+	sort.Slice(t.Points, func(i, j int) bool { return t.Points[i].X < t.Points[j].X })
+	return t, nil
+}
+
+// AblationPush compares the pull search against the push dual under bursty
+// and steady load.
+func AblationPush(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	const n = 32
+	t := Table{
+		Name:   "Ablation — pull vs push vs combined (n=32)",
+		XLabel: "workload", // 0 = steady, 1 = bursty
+		Series: []string{
+			"pull-wait", "push-wait", "combined-wait",
+			"pull-cheap/req", "push-cheap/req", "combined-cheap/req",
+		},
+	}
+	gens := []func() workload.Generator{
+		func() workload.Generator { return workload.Poisson{N: n, MeanGap: 50} },
+		func() workload.Generator {
+			return &workload.Bursty{N: n, BurstSize: 6, WithinGap: 1, IdleGap: 400}
+		},
+	}
+	for x, mk := range gens {
+		p := Point{X: float64(x), Y: map[string]float64{}}
+		for _, v := range []protocol.Variant{protocol.BinarySearch, protocol.PushProbe, protocol.Combined} {
+			cfg := figureConfig(v, n)
+			cfg.PushWait = 2
+			res, err := runOne(cfg, opts, mk())
+			if err != nil {
+				return t, err
+			}
+			label := "pull"
+			switch v {
+			case protocol.PushProbe:
+				label = "push"
+			case protocol.Combined:
+				label = "combined"
+			}
+			cheap := res.Messages["search"] + res.Messages["want-query"] + res.Messages["want-reply"]
+			p.Y[label+"-wait"] = res.Waits.Mean
+			p.Y[label+"-cheap/req"] = float64(cheap) / float64(res.Issued)
+		}
+		t.Points = append(t.Points, p)
+	}
+	return t, nil
+}
+
+// AblationThrottle verifies the §4.4 claim that with one outstanding
+// request per node, gimme messages stay within a constant factor of token
+// passing messages, across loads.
+func AblationThrottle(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	const n = 64
+	t := Table{
+		Name:   "Ablation — gimme/token message ratio (n=64)",
+		XLabel: "mean-gap",
+		Series: []string{"search-msgs", "token-msgs", "ratio"},
+	}
+	for _, gap := range []float64{2, 10, 50, 200} {
+		res, err := runOne(figureConfig(protocol.BinarySearch, n), opts,
+			workload.Poisson{N: n, MeanGap: gap})
+		if err != nil {
+			return t, err
+		}
+		search := float64(res.Messages["search"])
+		token := float64(res.Messages["token"] + res.Messages["token-return"])
+		t.Points = append(t.Points, Point{X: gap, Y: map[string]float64{
+			"search-msgs": search,
+			"token-msgs":  token,
+			"ratio":       search / token,
+		}})
+	}
+	return t, nil
+}
+
+// FairnessExperiment measures Theorem 3's quantities under heavy
+// contention: the maximum number of possessions by any single other node
+// while a request waits, against the log N bound.
+func FairnessExperiment(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	t := Table{
+		Name:   "Theorem 3 — possessions while waiting (heavy contention)",
+		XLabel: "n",
+		Series: []string{"max-by-one-mean", "max-by-one-max", "log2(n)", "total-mean"},
+	}
+	for _, n := range []int{8, 16, 32, 64} {
+		r, err := driver.New(figureConfig(protocol.BinarySearch, n),
+			driver.Options{Seed: opts.Seed, TrackFairness: true, CSTime: 2})
+		if err != nil {
+			return t, err
+		}
+		_, err = r.RunWorkload(workload.Poisson{N: n, MeanGap: 3}, opts.Requests/2, opts.MaxTime)
+		if err != nil {
+			return t, err
+		}
+		maxS := r.Fair.MaxSummary()
+		totS := r.Fair.TotalSummary()
+		t.Points = append(t.Points, Point{X: float64(n), Y: map[string]float64{
+			"max-by-one-mean": maxS.Mean,
+			"max-by-one-max":  maxS.Max,
+			"log2(n)":         math.Log2(float64(n)),
+			"total-mean":      totS.Mean,
+		}})
+	}
+	return t, nil
+}
+
+// Saturation reports the responsiveness of ring and binsearch when every
+// node is simultaneously ready — the paper's "busy system" regime where the
+// hybrid must not lose the ring's throughput.
+func Saturation(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	t := Table{
+		Name:   "Saturation — all nodes ready at once",
+		XLabel: "n",
+		Series: []string{"ring", "binsearch"},
+	}
+	for _, n := range []int{8, 32, 128} {
+		p := Point{X: float64(n), Y: map[string]float64{}}
+		for _, v := range []protocol.Variant{protocol.RingToken, protocol.BinarySearch} {
+			r, err := driver.New(figureConfig(v, n), driver.Options{Seed: opts.Seed})
+			if err != nil {
+				return t, err
+			}
+			_, err = r.RunWorkload(&workload.AllAtOnce{N: n, At: 1}, n, opts.MaxTime)
+			if err != nil {
+				return t, err
+			}
+			p.Y[v.String()] = r.Resp.Summary().Mean
+		}
+		t.Points = append(t.Points, p)
+	}
+	return t, nil
+}
+
+// DelaySensitivity checks the headline shapes under non-constant message
+// delays (the paper's cost model charges a constant per message; real
+// networks jitter): ring vs binsearch waits at n=100, light load, under
+// constant, uniform and exponential delay models with mean ≈ 3.
+func DelaySensitivity(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	const n = 100
+	t := Table{
+		Name:   "Sensitivity — message-delay models (n=100, mean gap 200, mean delay ≈3)",
+		XLabel: "model", // 0 = constant, 1 = uniform, 2 = exponential
+		Series: []string{"ring-wait", "binsearch-wait"},
+	}
+	models := []sim.DelayModel{
+		sim.ConstantDelay{D: 3},
+		sim.UniformDelay{Min: 1, Max: 5},
+		sim.ExponentialDelay{Mean: 3},
+	}
+	for x, dm := range models {
+		p := Point{X: float64(x), Y: map[string]float64{}}
+		for _, v := range []protocol.Variant{protocol.RingToken, protocol.BinarySearch} {
+			cfg := figureConfig(v, n)
+			cfg.ResearchTimeout = 2000 // jittery delays need retry insurance
+			res, err := runOneDelay(cfg, opts, workload.Poisson{N: n, MeanGap: 200}, dm)
+			if err != nil {
+				return t, err
+			}
+			label := "ring-wait"
+			if v == protocol.BinarySearch {
+				label = "binsearch-wait"
+			}
+			p.Y[label] = res.Waits.Mean
+		}
+		t.Points = append(t.Points, p)
+	}
+	return t, nil
+}
+
+// DelayModelLabels maps DelaySensitivity x positions to model names.
+func DelayModelLabels() []string { return []string{"constant", "uniform", "exponential"} }
+
+// TailLatency reports waiting-time percentiles (the paper plots only
+// averages; a deployment cares about tails): ring vs binsearch at n = 100
+// across the load sweep.
+func TailLatency(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	const n = 100
+	t := Table{
+		Name:   "Tails — waiting-time percentiles (n=100)",
+		XLabel: "mean-gap",
+		Series: []string{
+			"ring-p50", "ring-p99", "binsearch-p50", "binsearch-p99",
+		},
+	}
+	for _, gap := range []float64{10, 50, 500} {
+		p := Point{X: gap, Y: map[string]float64{}}
+		for _, v := range []protocol.Variant{protocol.RingToken, protocol.BinarySearch} {
+			res, err := runOne(figureConfig(v, n), opts, workload.Poisson{N: n, MeanGap: gap})
+			if err != nil {
+				return t, err
+			}
+			label := "ring"
+			if v == protocol.BinarySearch {
+				label = "binsearch"
+			}
+			p.Y[label+"-p50"] = res.Waits.P50
+			p.Y[label+"-p99"] = res.Waits.P99
+		}
+		t.Points = append(t.Points, p)
+	}
+	return t, nil
+}
+
+// MessageCost sweeps n under light load and reports the cheap (search)
+// message cost per request against Lemma 6's log₂n bound, plus the token
+// messages each delivery costs.
+func MessageCost(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	t := Table{
+		Name:   "Lemma 6 — search messages per request vs log2(n) (light load)",
+		XLabel: "n",
+		Series: []string{"search/req", "log2(n)", "expensive/grant"},
+	}
+	for _, n := range []int{8, 16, 32, 64, 128, 256, 512} {
+		res, err := runOne(figureConfig(protocol.BinarySearch, n), opts,
+			workload.Poisson{N: n, MeanGap: float64(4 * n)})
+		if err != nil {
+			return t, err
+		}
+		expensive := float64(res.Messages["token"]+res.Messages["token-return"]) / float64(res.Grants)
+		t.Points = append(t.Points, Point{X: float64(n), Y: map[string]float64{
+			"search/req":      float64(res.Messages["search"]) / float64(res.Issued),
+			"log2(n)":         math.Log2(float64(n)),
+			"expensive/grant": expensive,
+		}})
+	}
+	return t, nil
+}
+
+// All runs every experiment, keyed by its id from DESIGN.md.
+func All(opts Options) (map[string]Table, error) {
+	runs := []struct {
+		id string
+		fn func(Options) (Table, error)
+	}{
+		{"fig9", Figure9},
+		{"fig10", Figure10},
+		{"directed", AblationDirected},
+		{"trapgc", AblationTrapGC},
+		{"speed", AblationSpeed},
+		{"push", AblationPush},
+		{"throttle", AblationThrottle},
+		{"fairness", FairnessExperiment},
+		{"saturation", Saturation},
+		{"jitter", DelaySensitivity},
+		{"tails", TailLatency},
+		{"msgcost", MessageCost},
+	}
+	out := make(map[string]Table, len(runs))
+	for _, r := range runs {
+		tbl, err := r.fn(opts)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", r.id, err)
+		}
+		out[r.id] = tbl
+	}
+	return out, nil
+}
+
+// Lookup returns the experiment function for an id, if known.
+func Lookup(id string) (func(Options) (Table, error), bool) {
+	switch id {
+	case "fig9":
+		return Figure9, true
+	case "fig10":
+		return Figure10, true
+	case "directed":
+		return AblationDirected, true
+	case "trapgc":
+		return AblationTrapGC, true
+	case "speed":
+		return AblationSpeed, true
+	case "push":
+		return AblationPush, true
+	case "throttle":
+		return AblationThrottle, true
+	case "fairness":
+		return FairnessExperiment, true
+	case "saturation":
+		return Saturation, true
+	case "jitter":
+		return DelaySensitivity, true
+	case "tails":
+		return TailLatency, true
+	case "msgcost":
+		return MessageCost, true
+	default:
+		return nil, false
+	}
+}
+
+// IDs lists the experiment identifiers.
+func IDs() []string {
+	return []string{"fig9", "fig10", "directed", "trapgc", "speed", "push", "throttle", "fairness", "saturation", "jitter", "tails", "msgcost"}
+}

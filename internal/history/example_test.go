@@ -1,0 +1,38 @@
+package history_test
+
+import (
+	"fmt"
+
+	"adaptivetoken/internal/history"
+)
+
+// ExampleLog shows the ⊕-append log with the paper's two event kinds and
+// the prefix relation between a node's local view and the global order.
+func ExampleLog() {
+	global := history.New()
+	global.Append(0, history.KindData, "m1")
+	global.Append(0, history.KindCirculation, "")
+	local := global.Clone() // node 1's view so far
+	global.Append(1, history.KindData, "m2")
+
+	fmt.Println("local ⊂ global:", local.IsPrefixOf(global))
+	fmt.Println("global ⊂ local:", global.IsPrefixOf(local))
+	fmt.Println("local ⊂_C global:", local.PrefixC(global))
+	// Output:
+	// local ⊂ global: true
+	// global ⊂ local: false
+	// local ⊂_C global: true
+}
+
+// ExampleLog_CompactTo shows the §4.4 round-counter bounding: old entries
+// are dropped, yet prefix comparisons stay sound.
+func ExampleLog_CompactTo() {
+	l := history.New()
+	for i := 0; i < 5; i++ {
+		l.Append(i, history.KindData, fmt.Sprintf("m%d", i))
+	}
+	l.CompactTo(3)
+	fmt.Printf("total=%d retained=%d base=%d\n", l.Len(), l.Live(), l.Base())
+	// Output:
+	// total=5 retained=2 base=3
+}

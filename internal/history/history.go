@@ -1,0 +1,211 @@
+// Package history implements the operational history logs of the paper:
+// ordered event logs built with the ⊕ append operator, the prefix relations
+// ⊂ and ⊂_C (projection onto circulation events), and the round-counter
+// bounding of §4.4 ("the histories can be bounded by introducing the notion
+// of a round and using round counters").
+package history
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies history events.
+type Kind int
+
+// Event kinds.
+const (
+	// KindData is a broadcast of application data by a node.
+	KindData Kind = iota + 1
+	// KindCirculation marks the token completing a rotation hop away
+	// from a node — the events the ⊂_C relation projects onto.
+	KindCirculation
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindCirculation:
+		return "circ"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one history entry.
+type Event struct {
+	// Seq is the global sequence number of the event (position in the
+	// one true order, 1-based).
+	Seq uint64
+	// Node is the node the event concerns.
+	Node int
+	// Kind classifies the event.
+	Kind Kind
+	// Payload carries application data for KindData events.
+	Payload string
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	if e.Kind == KindCirculation {
+		return fmt.Sprintf("c%d@%d", e.Node, e.Seq)
+	}
+	return fmt.Sprintf("d%d@%d(%s)", e.Node, e.Seq, e.Payload)
+}
+
+// Log is an append-only event log, possibly compacted: entries before Base
+// have been dropped (round-counter bounding), but their count is remembered
+// so prefix comparisons against other logs of the same lineage stay sound.
+type Log struct {
+	base    uint64 // number of dropped leading events
+	entries []Event
+}
+
+// New returns an empty log.
+func New() *Log { return &Log{} }
+
+// FromEvents builds an uncompacted log from events (copied).
+func FromEvents(events []Event) *Log {
+	cp := make([]Event, len(events))
+	copy(cp, events)
+	return &Log{entries: cp}
+}
+
+// Len returns the total number of events ever appended, including
+// compacted ones.
+func (l *Log) Len() int { return int(l.base) + len(l.entries) }
+
+// Live returns the number of retained (non-compacted) events.
+func (l *Log) Live() int { return len(l.entries) }
+
+// Base returns the number of compacted (dropped) leading events.
+func (l *Log) Base() uint64 { return l.base }
+
+// At returns the i-th retained event (0 ≤ i < Live()).
+func (l *Log) At(i int) Event { return l.entries[i] }
+
+// Append adds an event, assigning it the next global sequence number. It
+// returns the assigned sequence number.
+func (l *Log) Append(node int, kind Kind, payload string) uint64 {
+	seq := uint64(l.Len()) + 1
+	l.entries = append(l.entries, Event{Seq: seq, Node: node, Kind: kind, Payload: payload})
+	return seq
+}
+
+// AppendEvent adds a pre-sequenced event; its Seq must be exactly Len()+1.
+func (l *Log) AppendEvent(e Event) error {
+	if want := uint64(l.Len()) + 1; e.Seq != want {
+		return fmt.Errorf("history: appending seq %d, want %d", e.Seq, want)
+	}
+	l.entries = append(l.entries, e)
+	return nil
+}
+
+// Clone returns an independent copy of the log.
+func (l *Log) Clone() *Log {
+	cp := make([]Event, len(l.entries))
+	copy(cp, l.entries)
+	return &Log{base: l.base, entries: cp}
+}
+
+// Events returns a copy of the retained events.
+func (l *Log) Events() []Event {
+	cp := make([]Event, len(l.entries))
+	copy(cp, l.entries)
+	return cp
+}
+
+// CompactTo drops retained events with Seq ≤ seq, implementing the round
+// counter bounding. Compacting beyond the end is clamped.
+func (l *Log) CompactTo(seq uint64) {
+	if seq <= l.base {
+		return
+	}
+	if seq > uint64(l.Len()) {
+		seq = uint64(l.Len())
+	}
+	drop := int(seq - l.base)
+	l.entries = append([]Event(nil), l.entries[drop:]...)
+	l.base = seq
+}
+
+// IsPrefixOf reports whether l ⊂ other: l's events are exactly the leading
+// events of other. Compaction is honored: comparison covers only the region
+// both logs retain; the caller must ensure the logs share a lineage (they
+// do inside one protocol instance, where all histories extend one global
+// order).
+func (l *Log) IsPrefixOf(other *Log) bool {
+	if l.Len() > other.Len() {
+		return false
+	}
+	// Overlapping retained region of l that other also retains.
+	for _, e := range l.entries {
+		if e.Seq <= other.base {
+			continue // other compacted this region; trust lineage
+		}
+		idx := int(e.Seq - other.base - 1)
+		if idx >= len(other.entries) {
+			return false
+		}
+		if other.entries[idx] != e {
+			return false
+		}
+	}
+	return true
+}
+
+// ProjectCirculation returns a new log containing only circulation events
+// (the ⊂_C projection). Sequence numbers are preserved.
+func (l *Log) ProjectCirculation() []Event {
+	var out []Event
+	for _, e := range l.entries {
+		if e.Kind == KindCirculation {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// PrefixC reports l ⊂_C other: the circulation projections are in prefix
+// relation, comparing by sequence numbers (sound under compaction for logs
+// of one lineage).
+func (l *Log) PrefixC(other *Log) bool {
+	return l.LastCirculationSeq() <= other.LastCirculationSeq()
+}
+
+// LastCirculationSeq returns the sequence number of the latest circulation
+// event this log knows about, or 0. Because all logs of one protocol
+// instance extend a single global order, comparing these scalars is
+// equivalent to the full ⊂_C prefix comparison — this is precisely the
+// paper's §4.4 round-counter optimization, and it is what the wire protocol
+// ships instead of whole histories.
+func (l *Log) LastCirculationSeq() uint64 {
+	for i := len(l.entries) - 1; i >= 0; i-- {
+		if l.entries[i].Kind == KindCirculation {
+			return l.entries[i].Seq
+		}
+	}
+	// All retained events are data; a compacted region may still hold
+	// circulation events, but the base is a safe lower bound.
+	return l.base
+}
+
+// String renders the log.
+func (l *Log) String() string {
+	var sb strings.Builder
+	if l.base > 0 {
+		fmt.Fprintf(&sb, "…%d⊕", l.base)
+	}
+	for i, e := range l.entries {
+		if i > 0 {
+			sb.WriteString("⊕")
+		}
+		sb.WriteString(e.String())
+	}
+	if sb.Len() == 0 {
+		return "ε"
+	}
+	return sb.String()
+}

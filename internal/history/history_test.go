@@ -1,0 +1,185 @@
+package history
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendAssignsSequence(t *testing.T) {
+	l := New()
+	if s := l.Append(0, KindData, "a"); s != 1 {
+		t.Errorf("first seq = %d", s)
+	}
+	if s := l.Append(1, KindCirculation, ""); s != 2 {
+		t.Errorf("second seq = %d", s)
+	}
+	if l.Len() != 2 || l.Live() != 2 {
+		t.Errorf("Len=%d Live=%d", l.Len(), l.Live())
+	}
+}
+
+func TestAppendEventValidatesSeq(t *testing.T) {
+	l := New()
+	if err := l.AppendEvent(Event{Seq: 2}); err == nil {
+		t.Error("gap must be rejected")
+	}
+	if err := l.AppendEvent(Event{Seq: 1, Node: 0, Kind: KindData}); err != nil {
+		t.Errorf("valid append: %v", err)
+	}
+}
+
+func TestPrefixRelation(t *testing.T) {
+	a := New()
+	a.Append(0, KindData, "x")
+	b := a.Clone()
+	b.Append(1, KindData, "y")
+	if !a.IsPrefixOf(b) {
+		t.Error("a should be a prefix of b")
+	}
+	if b.IsPrefixOf(a) {
+		t.Error("b is longer than a")
+	}
+	if !a.IsPrefixOf(a) {
+		t.Error("⊂ must be reflexive")
+	}
+	c := New()
+	c.Append(2, KindData, "z")
+	if c.IsPrefixOf(b) || b.IsPrefixOf(c) {
+		t.Error("diverged logs are incomparable")
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	l := New()
+	for i := 0; i < 10; i++ {
+		l.Append(i%3, KindData, "p")
+	}
+	l.CompactTo(4)
+	if l.Len() != 10 || l.Live() != 6 || l.Base() != 4 {
+		t.Fatalf("Len=%d Live=%d Base=%d", l.Len(), l.Live(), l.Base())
+	}
+	if l.At(0).Seq != 5 {
+		t.Errorf("first retained seq = %d", l.At(0).Seq)
+	}
+	// Idempotent / clamped.
+	l.CompactTo(2)
+	if l.Base() != 4 {
+		t.Error("compaction must not regress")
+	}
+	l.CompactTo(99)
+	if l.Live() != 0 || l.Len() != 10 {
+		t.Errorf("over-compaction: Live=%d Len=%d", l.Live(), l.Len())
+	}
+}
+
+func TestPrefixWithCompaction(t *testing.T) {
+	full := New()
+	for i := 0; i < 8; i++ {
+		full.Append(i, KindData, "p")
+	}
+	short := full.Clone()
+	short.CompactTo(3)
+	// A compacted copy of a prefix is still a prefix.
+	prefix := FromEvents(full.Events()[:5])
+	if !prefix.IsPrefixOf(short) && prefix.Len() <= short.Len() {
+		t.Error("prefix check through compaction broke")
+	}
+	// Longer-than check still applies.
+	if full.IsPrefixOf(prefix) {
+		t.Error("longer log cannot be a prefix")
+	}
+}
+
+func TestProjectionAndPrefixC(t *testing.T) {
+	a := New()
+	a.Append(0, KindData, "x")
+	a.Append(0, KindCirculation, "")
+	a.Append(1, KindData, "y")
+	b := a.Clone()
+	b.Append(1, KindCirculation, "")
+
+	proj := a.ProjectCirculation()
+	if len(proj) != 1 || proj[0].Seq != 2 {
+		t.Fatalf("projection = %v", proj)
+	}
+	if !a.PrefixC(b) {
+		t.Error("a ⊂_C b should hold")
+	}
+	if b.PrefixC(a) {
+		t.Error("b has a fresher circulation view")
+	}
+	if a.LastCirculationSeq() != 2 || b.LastCirculationSeq() != 4 {
+		t.Errorf("last circ seqs: %d, %d", a.LastCirculationSeq(), b.LastCirculationSeq())
+	}
+}
+
+func TestLastCirculationSeqAfterCompaction(t *testing.T) {
+	l := New()
+	l.Append(0, KindCirculation, "")
+	l.Append(1, KindData, "x")
+	l.CompactTo(1)
+	// The circulation event is compacted away; the base is the bound.
+	if got := l.LastCirculationSeq(); got != 1 {
+		t.Errorf("LastCirculationSeq = %d, want 1 (base fallback)", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	l := New()
+	if l.String() != "ε" {
+		t.Errorf("empty log = %q", l.String())
+	}
+	l.Append(0, KindData, "hello")
+	l.Append(1, KindCirculation, "")
+	s := l.String()
+	if !strings.Contains(s, "d0@1") || !strings.Contains(s, "c1@2") {
+		t.Errorf("rendering = %q", s)
+	}
+	l.CompactTo(1)
+	if !strings.Contains(l.String(), "…1⊕") {
+		t.Errorf("compacted rendering = %q", l.String())
+	}
+	if KindData.String() != "data" || KindCirculation.String() != "circ" || Kind(9).String() == "" {
+		t.Error("kind strings")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New()
+	a.Append(0, KindData, "x")
+	b := a.Clone()
+	b.Append(1, KindData, "y")
+	if a.Len() != 1 || b.Len() != 2 {
+		t.Error("clone must be independent")
+	}
+	evs := a.Events()
+	evs[0].Payload = "mutated"
+	if a.At(0).Payload != "x" {
+		t.Error("Events must return a copy")
+	}
+}
+
+// Property: any prefix slice of a log's events forms a log that IsPrefixOf
+// the original, and PrefixC agrees with projection comparison.
+func TestQuickPrefixSlices(t *testing.T) {
+	f := func(kinds []bool, cut uint8) bool {
+		full := New()
+		for i, isCirc := range kinds {
+			k := KindData
+			if isCirc {
+				k = KindCirculation
+			}
+			full.Append(i%5, k, "p")
+		}
+		if full.Len() == 0 {
+			return true
+		}
+		n := int(cut) % (full.Len() + 1)
+		prefix := FromEvents(full.Events()[:n])
+		return prefix.IsPrefixOf(full) && prefix.PrefixC(full)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,210 @@
+// Package membership implements the dynamic-ring machinery the paper
+// sketches in its conclusion: views of the nodes comprising the ring,
+// totally ordered view changes (joins and leaves agreed through the
+// token-ordered broadcast), and the logarithmic "halfway" neighbor sets the
+// binary search needs ("nodes need only a set of a logarithmic number of
+// neighbors").
+package membership
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// View is one ring configuration: a sorted set of member identifiers. Ring
+// position i is Members[i]; the binary search runs over positions.
+type View struct {
+	// Epoch increases with every view change.
+	Epoch uint64
+	// Members is sorted ascending.
+	Members []int
+}
+
+// NewView builds a view from members (copied, sorted, deduplicated).
+func NewView(epoch uint64, members []int) View {
+	cp := append([]int(nil), members...)
+	sort.Ints(cp)
+	out := cp[:0]
+	for i, m := range cp {
+		if i > 0 && cp[i-1] == m {
+			continue
+		}
+		out = append(out, m)
+	}
+	return View{Epoch: epoch, Members: append([]int(nil), out...)}
+}
+
+// N returns the ring size.
+func (v View) N() int { return len(v.Members) }
+
+// Contains reports whether id is a member.
+func (v View) Contains(id int) bool {
+	_, ok := v.PositionOf(id)
+	return ok
+}
+
+// PositionOf returns id's ring position.
+func (v View) PositionOf(id int) (int, bool) {
+	i := sort.SearchInts(v.Members, id)
+	if i < len(v.Members) && v.Members[i] == id {
+		return i, true
+	}
+	return 0, false
+}
+
+// MemberAt returns the member at ring position pos (mod N).
+func (v View) MemberAt(pos int) int {
+	n := len(v.Members)
+	p := pos % n
+	if p < 0 {
+		p += n
+	}
+	return v.Members[p]
+}
+
+// WithJoined returns a new view with id added and the epoch bumped.
+func (v View) WithJoined(id int) View {
+	return NewView(v.Epoch+1, append(append([]int(nil), v.Members...), id))
+}
+
+// WithLeft returns a new view with id removed and the epoch bumped.
+func (v View) WithLeft(id int) View {
+	out := make([]int, 0, len(v.Members))
+	for _, m := range v.Members {
+		if m != id {
+			out = append(out, m)
+		}
+	}
+	return View{Epoch: v.Epoch + 1, Members: out}
+}
+
+// HalfwaySet returns the members at distances ⌈n/2⌉, ⌈n/4⌉, …, 1 clockwise
+// from id — the logarithmic neighbor set sufficient for the binary search,
+// per the paper's conclusion.
+func (v View) HalfwaySet(id int) ([]int, error) {
+	pos, ok := v.PositionOf(id)
+	if !ok {
+		return nil, fmt.Errorf("membership: %d not in view", id)
+	}
+	n := len(v.Members)
+	var out []int
+	seen := map[int]bool{id: true}
+	for w := (n + 1) / 2; w >= 1; w /= 2 {
+		m := v.MemberAt(pos + w)
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// Equal reports whether two views have the same epoch and members.
+func (v View) Equal(o View) bool {
+	if v.Epoch != o.Epoch || len(v.Members) != len(o.Members) {
+		return false
+	}
+	for i := range v.Members {
+		if v.Members[i] != o.Members[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the view.
+func (v View) String() string {
+	return fmt.Sprintf("view{epoch=%d members=%v}", v.Epoch, v.Members)
+}
+
+// ChangeKind classifies view changes.
+type ChangeKind int
+
+// View change kinds.
+const (
+	// Join adds a member.
+	Join ChangeKind = iota + 1
+	// Leave removes a member.
+	Leave
+)
+
+// String returns the kind name.
+func (k ChangeKind) String() string {
+	switch k {
+	case Join:
+		return "join"
+	case Leave:
+		return "leave"
+	default:
+		return fmt.Sprintf("change(%d)", int(k))
+	}
+}
+
+// Change is one membership event. Changes applied in the same total order
+// at every node (e.g. via the tobcast service) yield identical views
+// everywhere.
+type Change struct {
+	Kind ChangeKind
+	Node int
+}
+
+// Tracker folds a totally ordered stream of changes into the current view
+// and notifies subscribers. Safe for concurrent use.
+type Tracker struct {
+	mu   sync.Mutex
+	view View
+	subs []func(View)
+}
+
+// NewTracker starts from the initial view.
+func NewTracker(initial View) *Tracker {
+	return &Tracker{view: initial}
+}
+
+// View returns the current view.
+func (t *Tracker) View() View {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.view
+}
+
+// Subscribe registers fn to run after every applied change.
+func (t *Tracker) Subscribe(fn func(View)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.subs = append(t.subs, fn)
+}
+
+// Apply folds one change into the view. Idempotent changes (joining a
+// member, removing a non-member) bump no epoch and notify nobody.
+func (t *Tracker) Apply(c Change) View {
+	t.mu.Lock()
+	switch c.Kind {
+	case Join:
+		if t.view.Contains(c.Node) {
+			v := t.view
+			t.mu.Unlock()
+			return v
+		}
+		t.view = t.view.WithJoined(c.Node)
+	case Leave:
+		if !t.view.Contains(c.Node) {
+			v := t.view
+			t.mu.Unlock()
+			return v
+		}
+		t.view = t.view.WithLeft(c.Node)
+	default:
+		v := t.view
+		t.mu.Unlock()
+		return v
+	}
+	v := t.view
+	subs := append(make([]func(View), 0, len(t.subs)), t.subs...)
+	t.mu.Unlock()
+	for _, fn := range subs {
+		fn(v)
+	}
+	return v
+}

@@ -1,0 +1,277 @@
+// Package metrics implements the measurements of the paper's evaluation:
+// responsiveness (Definition 3), per-request waiting time, message counts
+// by kind, and the Theorem 3 fairness accounting (token possessions while a
+// request waits).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds order statistics over a set of float samples.
+type Summary struct {
+	Count          int
+	Mean           float64
+	Std            float64
+	Min, Max       float64
+	P50, P90, P99  float64
+	SumOfSquareDev float64
+}
+
+// Summarize computes summary statistics of samples (which it sorts a copy
+// of). An empty input yields a zero Summary.
+func Summarize(samples []float64) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	cp := make([]float64, len(samples))
+	copy(cp, samples)
+	sort.Float64s(cp)
+
+	var sum float64
+	for _, v := range cp {
+		sum += v
+	}
+	mean := sum / float64(len(cp))
+	var dev float64
+	for _, v := range cp {
+		d := v - mean
+		dev += d * d
+	}
+	std := 0.0
+	if len(cp) > 1 {
+		std = math.Sqrt(dev / float64(len(cp)-1))
+	}
+	return Summary{
+		Count:          len(cp),
+		Mean:           mean,
+		Std:            std,
+		Min:            cp[0],
+		Max:            cp[len(cp)-1],
+		P50:            percentile(cp, 0.50),
+		P90:            percentile(cp, 0.90),
+		P99:            percentile(cp, 0.99),
+		SumOfSquareDev: dev,
+	}
+}
+
+// percentile returns the p-quantile of sorted samples using nearest-rank.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f std=%.2f min=%.0f p50=%.0f p90=%.0f p99=%.0f max=%.0f",
+		s.Count, s.Mean, s.Std, s.Min, s.P50, s.P90, s.P99, s.Max)
+}
+
+// Responsiveness tracks Definition 3: "the maximum time period during which
+// at least one node requires the token and until the token is given to a
+// ready node". It records one sample per interval: an interval opens when
+// the ready count rises from zero (or immediately after a grant that leaves
+// ready nodes behind) and closes when any ready node is granted the token.
+type Responsiveness struct {
+	samples    []float64
+	readyCount int
+	open       bool
+	start      int64
+}
+
+// RequestArrived records that a node became ready at time t.
+func (r *Responsiveness) RequestArrived(t int64) {
+	r.readyCount++
+	if !r.open {
+		r.open = true
+		r.start = t
+	}
+}
+
+// Granted records that the token was given to a ready node at time t,
+// closing the current interval. The granted node is no longer ready.
+func (r *Responsiveness) Granted(t int64) {
+	if r.open {
+		r.samples = append(r.samples, float64(t-r.start))
+	}
+	if r.readyCount > 0 {
+		r.readyCount--
+	}
+	if r.readyCount > 0 {
+		r.open = true
+		r.start = t
+	} else {
+		r.open = false
+	}
+}
+
+// ReadyCount returns the number of currently ready nodes.
+func (r *Responsiveness) ReadyCount() int { return r.readyCount }
+
+// Samples returns a copy of the recorded interval lengths.
+func (r *Responsiveness) Samples() []float64 {
+	cp := make([]float64, len(r.samples))
+	copy(cp, r.samples)
+	return cp
+}
+
+// Summary summarizes the recorded intervals.
+func (r *Responsiveness) Summary() Summary { return Summarize(r.samples) }
+
+// Waits tracks per-request waiting time: from a node becoming ready to that
+// same node receiving the token.
+type Waits struct {
+	pending map[int]int64 // node → request time
+	samples []float64
+}
+
+// NewWaits returns an empty tracker.
+func NewWaits() *Waits { return &Waits{pending: make(map[int]int64)} }
+
+// Requested records that node became ready at time t. A duplicate request
+// from an already-waiting node keeps the original time.
+func (w *Waits) Requested(node int, t int64) {
+	if _, dup := w.pending[node]; !dup {
+		w.pending[node] = t
+	}
+}
+
+// Granted records that node received the token at time t. Grants to nodes
+// with no pending request are ignored.
+func (w *Waits) Granted(node int, t int64) {
+	start, ok := w.pending[node]
+	if !ok {
+		return
+	}
+	delete(w.pending, node)
+	w.samples = append(w.samples, float64(t-start))
+}
+
+// Outstanding returns the number of unanswered requests.
+func (w *Waits) Outstanding() int { return len(w.pending) }
+
+// Samples returns a copy of the recorded waits.
+func (w *Waits) Samples() []float64 {
+	cp := make([]float64, len(w.samples))
+	copy(cp, w.samples)
+	return cp
+}
+
+// Summary summarizes the recorded waits.
+func (w *Waits) Summary() Summary { return Summarize(w.samples) }
+
+// Messages counts protocol messages by kind.
+type Messages struct {
+	counts map[string]int64
+}
+
+// NewMessages returns an empty counter set.
+func NewMessages() *Messages { return &Messages{counts: make(map[string]int64)} }
+
+// Inc adds one message of the given kind.
+func (m *Messages) Inc(kind string) { m.counts[kind]++ }
+
+// Add adds n messages of the given kind.
+func (m *Messages) Add(kind string, n int64) { m.counts[kind] += n }
+
+// Get returns the count for kind.
+func (m *Messages) Get(kind string) int64 { return m.counts[kind] }
+
+// Total returns the count over all kinds.
+func (m *Messages) Total() int64 {
+	var t int64
+	for _, v := range m.counts {
+		t += v
+	}
+	return t
+}
+
+// Kinds returns the kinds seen, sorted.
+func (m *Messages) Kinds() []string {
+	out := make([]string, 0, len(m.counts))
+	for k := range m.counts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Fairness tracks Theorem 3's accounting: while some node's request is
+// outstanding, how many times each other node possessed the token, and how
+// many possessions occurred in total.
+type Fairness struct {
+	waitingSince map[int]int64       // waiting node → request time
+	possessions  map[int]map[int]int // waiting node → (holder → count)
+	totals       map[int]int         // waiting node → total possessions by others
+	MaxPerNode   []float64           // samples: max possessions by a single other node per completed wait
+	TotalOthers  []float64           // samples: total possessions by others per completed wait
+}
+
+// NewFairness returns an empty tracker.
+func NewFairness() *Fairness {
+	return &Fairness{
+		waitingSince: make(map[int]int64),
+		possessions:  make(map[int]map[int]int),
+		totals:       make(map[int]int),
+	}
+}
+
+// Requested records node starting to wait at time t.
+func (f *Fairness) Requested(node int, t int64) {
+	if _, dup := f.waitingSince[node]; dup {
+		return
+	}
+	f.waitingSince[node] = t
+	f.possessions[node] = make(map[int]int)
+	f.totals[node] = 0
+}
+
+// Possessed records holder taking possession of the token. Every currently
+// waiting node other than the holder accumulates the possession.
+func (f *Fairness) Possessed(holder int) {
+	for waiter := range f.waitingSince {
+		if waiter == holder {
+			continue
+		}
+		f.possessions[waiter][holder]++
+		f.totals[waiter]++
+	}
+}
+
+// Granted records that node's wait ended; its accumulated possession counts
+// become samples.
+func (f *Fairness) Granted(node int) {
+	if _, ok := f.waitingSince[node]; !ok {
+		return
+	}
+	maxBy := 0
+	for _, c := range f.possessions[node] {
+		if c > maxBy {
+			maxBy = c
+		}
+	}
+	f.MaxPerNode = append(f.MaxPerNode, float64(maxBy))
+	f.TotalOthers = append(f.TotalOthers, float64(f.totals[node]))
+	delete(f.waitingSince, node)
+	delete(f.possessions, node)
+	delete(f.totals, node)
+}
+
+// MaxSummary summarizes the per-wait maximum possessions by a single node
+// (Theorem 3 bounds this by log N).
+func (f *Fairness) MaxSummary() Summary { return Summarize(f.MaxPerNode) }
+
+// TotalSummary summarizes the per-wait total possessions by other nodes
+// (Theorem 3 bounds this by N, plus search overhead).
+func (f *Fairness) TotalSummary() Summary { return Summarize(f.TotalOthers) }

@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Count != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.Std-1.2909944) > 1e-6 {
+		t.Errorf("std = %v", s.Std)
+	}
+	if s.P50 != 2 {
+		t.Errorf("p50 = %v", s.P50)
+	}
+	if Summarize(nil).Count != 0 {
+		t.Error("empty summary")
+	}
+	single := Summarize([]float64{7})
+	if single.Std != 0 || single.P99 != 7 {
+		t.Errorf("single-sample summary = %+v", single)
+	}
+	if !strings.Contains(s.String(), "mean=2.50") {
+		t.Errorf("string = %s", s)
+	}
+}
+
+func TestQuickSummarizeBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]float64, len(raw))
+		for i, v := range raw {
+			samples[i] = float64(v)
+		}
+		s := Summarize(samples)
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 &&
+			s.P99 <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResponsivenessSingleRequest(t *testing.T) {
+	var r Responsiveness
+	r.RequestArrived(10)
+	r.Granted(17)
+	s := r.Samples()
+	if len(s) != 1 || s[0] != 7 {
+		t.Fatalf("samples = %v", s)
+	}
+	if r.ReadyCount() != 0 {
+		t.Errorf("ready = %d", r.ReadyCount())
+	}
+}
+
+func TestResponsivenessOverlappingRequests(t *testing.T) {
+	// Definition 3: the interval restarts after each grant while ready
+	// nodes remain.
+	var r Responsiveness
+	r.RequestArrived(0) // interval opens at 0
+	r.RequestArrived(2) // second waiter
+	r.Granted(5)        // sample 5-0 = 5; interval reopens at 5
+	r.Granted(9)        // sample 9-5 = 4; no waiters left
+	s := r.Samples()
+	if len(s) != 2 || s[0] != 5 || s[1] != 4 {
+		t.Fatalf("samples = %v", s)
+	}
+	if r.ReadyCount() != 0 {
+		t.Error("all grants consumed")
+	}
+	// A grant with no open interval records nothing.
+	r.Granted(12)
+	if len(r.Samples()) != 2 {
+		t.Error("spurious sample")
+	}
+}
+
+func TestResponsivenessSaturation(t *testing.T) {
+	// All nodes ready at once: every grant closes an interval that
+	// started at the previous grant — responsiveness stays O(1) even
+	// though waits are long.
+	var r Responsiveness
+	for i := 0; i < 5; i++ {
+		r.RequestArrived(0)
+	}
+	for i := 1; i <= 5; i++ {
+		r.Granted(int64(i))
+	}
+	s := r.Summary()
+	if s.Count != 5 || s.Max != 1 {
+		t.Fatalf("saturation summary = %+v", s)
+	}
+}
+
+func TestWaits(t *testing.T) {
+	w := NewWaits()
+	w.Requested(3, 10)
+	w.Requested(3, 12) // duplicate keeps original time
+	w.Requested(5, 11)
+	if w.Outstanding() != 2 {
+		t.Errorf("outstanding = %d", w.Outstanding())
+	}
+	w.Granted(3, 20)
+	w.Granted(9, 21) // never requested: ignored
+	w.Granted(5, 31)
+	s := w.Samples()
+	if len(s) != 2 || s[0] != 10 || s[1] != 20 {
+		t.Fatalf("samples = %v", s)
+	}
+	if w.Outstanding() != 0 {
+		t.Error("all served")
+	}
+	if w.Summary().Mean != 15 {
+		t.Errorf("mean = %v", w.Summary().Mean)
+	}
+}
+
+func TestMessages(t *testing.T) {
+	m := NewMessages()
+	m.Inc("token")
+	m.Inc("token")
+	m.Add("search", 5)
+	if m.Get("token") != 2 || m.Get("search") != 5 || m.Get("nope") != 0 {
+		t.Error("counts broken")
+	}
+	if m.Total() != 7 {
+		t.Errorf("total = %d", m.Total())
+	}
+	kinds := m.Kinds()
+	if len(kinds) != 2 || kinds[0] != "search" || kinds[1] != "token" {
+		t.Errorf("kinds = %v", kinds)
+	}
+}
+
+func TestFairness(t *testing.T) {
+	f := NewFairness()
+	f.Requested(0, 100)
+	f.Possessed(1)
+	f.Possessed(1)
+	f.Possessed(2)
+	f.Possessed(0) // the waiter itself: not counted against it
+	f.Granted(0)
+	if len(f.MaxPerNode) != 1 || f.MaxPerNode[0] != 2 {
+		t.Fatalf("max per node = %v", f.MaxPerNode)
+	}
+	if len(f.TotalOthers) != 1 || f.TotalOthers[0] != 3 {
+		t.Fatalf("totals = %v", f.TotalOthers)
+	}
+	// Grant for a non-waiter is ignored.
+	f.Granted(7)
+	if len(f.MaxPerNode) != 1 {
+		t.Error("spurious fairness sample")
+	}
+	// Duplicate request does not reset accounting.
+	f.Requested(4, 1)
+	f.Possessed(2)
+	f.Requested(4, 2)
+	f.Granted(4)
+	if f.TotalOthers[1] != 1 {
+		t.Errorf("dup request reset accounting: %v", f.TotalOthers)
+	}
+	if f.MaxSummary().Count != 2 || f.TotalSummary().Count != 2 {
+		t.Error("summaries")
+	}
+}

@@ -1,0 +1,276 @@
+// Package node hosts a protocol state machine on a live transport: a
+// goroutine event loop drives the deterministic core of internal/protocol
+// with real messages, wall-clock timers, and a blocking Acquire/Release API
+// for applications. The mutual-exclusion and total-order-broadcast services
+// are built on top of this runtime.
+package node
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"adaptivetoken/internal/protocol"
+	"adaptivetoken/internal/transport"
+)
+
+// ErrStopped is returned by operations on a stopped runtime.
+var ErrStopped = errors.New("node: runtime stopped")
+
+// Runtime drives one protocol node over an endpoint.
+type Runtime struct {
+	unit  time.Duration
+	start time.Time
+
+	mu      sync.Mutex
+	proto   *protocol.Node
+	ep      transport.Endpoint
+	stopped bool
+	waiter  chan struct{} // closed on grant; nil when nobody waits
+	timers  map[*time.Timer]struct{}
+	onApp   func(transport.AppData)
+
+	loopDone chan struct{}
+}
+
+// NewRuntime wraps proto on ep. unit is the wall-clock length of one
+// protocol time unit (timers scale by it); it defaults to one millisecond.
+func NewRuntime(proto *protocol.Node, ep transport.Endpoint, unit time.Duration) (*Runtime, error) {
+	if proto == nil || ep == nil {
+		return nil, errors.New("node: nil protocol node or endpoint")
+	}
+	if proto.ID() != ep.ID() {
+		return nil, fmt.Errorf("node: protocol id %d != endpoint id %d", proto.ID(), ep.ID())
+	}
+	if unit <= 0 {
+		unit = time.Millisecond
+	}
+	return &Runtime{
+		unit:   unit,
+		start:  time.Now(),
+		proto:  proto,
+		ep:     ep,
+		timers: make(map[*time.Timer]struct{}),
+	}, nil
+}
+
+// ID returns the node's ring position.
+func (r *Runtime) ID() int { return r.proto.ID() }
+
+// Proto exposes the underlying state machine for inspection (tests,
+// diagnostics). Hold no assumptions about concurrent mutation; snapshot
+// methods on protocol.Node are single values.
+func (r *Runtime) Proto() *protocol.Node { return r.proto }
+
+// Start launches the receive loop.
+func (r *Runtime) Start() {
+	r.loopDone = make(chan struct{})
+	go r.recvLoop()
+}
+
+// Stop shuts the runtime down: the endpoint closes, pending timers are
+// canceled, and the receive loop exits.
+func (r *Runtime) Stop() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	for t := range r.timers {
+		t.Stop()
+	}
+	r.timers = map[*time.Timer]struct{}{}
+	r.mu.Unlock()
+	r.ep.Close()
+	if r.loopDone != nil {
+		<-r.loopDone
+	}
+}
+
+// now returns the current protocol time.
+func (r *Runtime) now() protocol.Time {
+	return protocol.Time(time.Since(r.start) / r.unit)
+}
+
+// Stats returns a diagnostic snapshot of the protocol state, taken under
+// the runtime lock.
+func (r *Runtime) Stats() protocol.Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.proto.Stats()
+}
+
+// Bootstrap makes this node the initial token holder. Call on exactly one
+// node per ring.
+func (r *Runtime) Bootstrap() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.applyLocked(r.proto.GiveToken(r.now()))
+}
+
+// Acquire blocks until the token is granted to this node or ctx is done.
+// On success the caller must call Release.
+func (r *Runtime) Acquire(ctx context.Context) error {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return ErrStopped
+	}
+	if r.waiter != nil {
+		r.mu.Unlock()
+		return errors.New("node: concurrent Acquire on one runtime")
+	}
+	eff := r.proto.Request(r.now())
+	if eff.Granted {
+		// applyLocked would re-enter grant handling; the immediate
+		// self-grant carries no messages or timers.
+		r.applyRest(eff)
+		r.mu.Unlock()
+		return nil
+	}
+	w := make(chan struct{})
+	r.waiter = w
+	r.applyRest(eff)
+	r.mu.Unlock()
+
+	select {
+	case <-w:
+		return nil
+	case <-ctx.Done():
+		r.mu.Lock()
+		if r.waiter == w {
+			r.waiter = nil
+		}
+		r.mu.Unlock()
+		// The grant may still arrive later; a grant with no waiter is
+		// released immediately by the loop, keeping the token moving.
+		select {
+		case <-w:
+			// Granted concurrently with cancellation: give it back.
+			r.Release()
+			return nil
+		default:
+		}
+		return ctx.Err()
+	}
+}
+
+// Release returns the token after a successful Acquire.
+func (r *Runtime) Release() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.applyLocked(r.proto.Release(r.now()))
+}
+
+// TryAttachment returns the token's application attachment; valid while the
+// token is held (between Acquire and Release).
+func (r *Runtime) TryAttachment() (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.proto.InCS() {
+		return "", false
+	}
+	return r.proto.Attachment(), true
+}
+
+// SetAttachment replaces the token attachment; only valid while held.
+func (r *Runtime) SetAttachment(s string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.proto.SetAttachment(s)
+}
+
+// OnApp registers the handler for application data envelopes. Must be set
+// before Start.
+func (r *Runtime) OnApp(fn func(transport.AppData)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onApp = fn
+}
+
+// SendApp sends application data to one node (to == ID() loops back).
+func (r *Runtime) SendApp(to int, d transport.AppData) error {
+	return r.ep.Send(transport.Envelope{To: to, App: &d})
+}
+
+// BroadcastApp sends application data to every node, including this one.
+func (r *Runtime) BroadcastApp(n int, d transport.AppData) error {
+	for i := 0; i < n; i++ {
+		if err := r.ep.Send(transport.Envelope{To: i, App: &d}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recvLoop pumps the endpoint into the state machine.
+func (r *Runtime) recvLoop() {
+	defer close(r.loopDone)
+	for env := range r.ep.Recv() {
+		switch {
+		case env.Proto != nil:
+			r.mu.Lock()
+			if r.stopped {
+				r.mu.Unlock()
+				return
+			}
+			eff := r.proto.HandleMessage(r.now(), *env.Proto)
+			r.applyLocked(eff)
+			r.mu.Unlock()
+		case env.App != nil:
+			r.mu.Lock()
+			fn := r.onApp
+			r.mu.Unlock()
+			if fn != nil {
+				fn(*env.App)
+			}
+		}
+	}
+}
+
+// applyLocked interprets effects; the caller holds r.mu.
+func (r *Runtime) applyLocked(e protocol.Effects) {
+	if e.Granted {
+		if r.waiter != nil {
+			close(r.waiter)
+			r.waiter = nil
+		} else {
+			// Nobody is waiting (canceled acquire, or a stale
+			// trap grant): hand the token straight back so it
+			// keeps moving.
+			rel := r.proto.Release(r.now())
+			r.applyRest(rel)
+		}
+	}
+	r.applyRest(e)
+}
+
+// applyRest sends messages and arms timers; the caller holds r.mu.
+func (r *Runtime) applyRest(e protocol.Effects) {
+	for _, m := range e.Msgs {
+		m := m
+		if err := r.ep.Send(transport.Envelope{To: m.To, Proto: &m}); err != nil {
+			// Unreachable peer: protocol-level timeouts (research,
+			// recovery) repair the damage; nothing to do here.
+			continue
+		}
+	}
+	for _, tm := range e.Timers {
+		tm := tm
+		var handle *time.Timer
+		handle = time.AfterFunc(time.Duration(tm.Delay)*r.unit, func() {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			delete(r.timers, handle)
+			if r.stopped {
+				return
+			}
+			eff := r.proto.HandleTimer(r.now(), tm.Kind, tm.Gen)
+			r.applyLocked(eff)
+		})
+		r.timers[handle] = struct{}{}
+	}
+}

@@ -1,0 +1,50 @@
+package protocol
+
+import "testing"
+
+// FuzzHandleMessage feeds arbitrary message fields to a node under every
+// variant. The state machine must never panic, never emit off-ring
+// destinations, and never forge a From other than itself. Run with
+// `go test -fuzz=FuzzHandleMessage ./internal/protocol` for open-ended
+// fuzzing; the seed corpus runs as part of the normal test suite.
+func FuzzHandleMessage(f *testing.F) {
+	f.Add(uint8(1), 0, 1, uint64(3), 2, 1, uint64(1), 4, uint64(2), true, false, uint64(0))
+	f.Add(uint8(2), 3, 0, uint64(9), -1, 0, uint64(2), 1, uint64(7), false, true, uint64(1))
+	f.Add(uint8(3), 7, 7, uint64(0), 9, 12, uint64(0), -5, uint64(0), false, false, uint64(9))
+	f.Add(uint8(101), 2, 4, uint64(5), 3, 2, uint64(1), 2, uint64(3), true, true, uint64(2))
+
+	const n = 8
+	variants := []Variant{RingToken, LinearSearch, BinarySearch, DirectedSearch, PushProbe, Combined}
+
+	f.Fuzz(func(t *testing.T, kind uint8, from, to int, round uint64,
+		returnTo, requester int, reqSeq uint64, window int, origin uint64,
+		hasToken, want bool, epoch uint64) {
+		for _, v := range variants {
+			nd, err := New(3, Config{Variant: v, N: n, RecoveryTimeout: 10, PushWait: 2, TrapGC: GCRotation})
+			if err != nil {
+				t.Fatal(err)
+			}
+			nd.GiveToken(0)
+			m := Message{
+				Kind: MsgKind(kind), From: from, To: to, Round: round,
+				ReturnTo: returnTo, Requester: requester, ReqSeq: reqSeq,
+				Window: window, OriginStamp: origin,
+				HasToken: hasToken, Want: want, Epoch: epoch,
+			}
+			eff := nd.HandleMessage(1, m)
+			for _, out := range eff.Msgs {
+				if out.To < 0 || out.To >= n {
+					t.Fatalf("variant %s: off-ring destination %d from %+v", v, out.To, m)
+				}
+				if out.From != 3 {
+					t.Fatalf("variant %s: forged From %d", v, out.From)
+				}
+			}
+			for _, tm := range eff.Timers {
+				if tm.Delay < 0 {
+					t.Fatalf("variant %s: negative timer %+v", v, tm)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,555 @@
+package protocol
+
+import (
+	"fmt"
+
+	"adaptivetoken/internal/ring"
+)
+
+// Node is one participant's protocol state machine. It is deterministic and
+// transport-agnostic: inputs arrive via HandleMessage, HandleTimer, Request
+// and Release; outputs are returned as Effects. Not safe for concurrent
+// use — hosts serialize.
+type Node struct {
+	cfg Config
+	id  int
+	rg  ring.Ring
+
+	// Token possession.
+	hasToken bool
+	inCS     bool // granted to the local application
+	returnTo int  // decorated-token return address, or None
+	round    uint64
+	lastSeen uint64
+
+	// Local request.
+	pending bool
+	reqSeq  uint64
+
+	// Trap table, FIFO.
+	traps []trapEntry
+
+	// Timer generations.
+	holdGen uint64
+	pushGen uint64
+
+	// Adaptive speed.
+	holdCur   Time
+	sawDemand bool
+
+	// Directed search cursor.
+	probeWindow int
+	probePos    int
+
+	// bootstrapped guards GiveToken: a node injects a token at most
+	// once, so a repeated bootstrap cannot duplicate it.
+	bootstrapped bool
+
+	// Failure handling (§5): token epoch and in-progress recovery.
+	epoch    uint64
+	recovery recoveryState
+
+	// attach is the application payload riding on the token; valid while
+	// holding.
+	attach string
+
+	// served is the rotation-GC satisfaction record riding on the token;
+	// curGrantSeq is the request sequence being served while in CS.
+	served      []ServedRec
+	curGrantSeq uint64
+}
+
+// trapEntry is a stored token trap τ_requester.
+type trapEntry struct {
+	requester int
+	reqSeq    uint64
+	from      int    // previous hop of the search trail (inverse GC)
+	bornRound uint64 // freshest circulation round known when set (aging GC)
+}
+
+// New returns a node with the given ring position.
+func New(id int, cfg Config) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if id < 0 || id >= cfg.N {
+		return nil, fmt.Errorf("protocol: node id %d outside ring of %d", id, cfg.N)
+	}
+	rg, err := ring.New(cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{
+		cfg:      cfg,
+		id:       id,
+		rg:       rg,
+		returnTo: None,
+	}, nil
+}
+
+// ID returns the node's ring position.
+func (n *Node) ID() int { return n.id }
+
+// HasToken reports whether the node currently holds the token (including
+// while granted to the application).
+func (n *Node) HasToken() bool { return n.hasToken }
+
+// InCS reports whether the token is granted to the local application.
+func (n *Node) InCS() bool { return n.inCS }
+
+// Pending reports whether a local request is outstanding.
+func (n *Node) Pending() bool { return n.pending }
+
+// Round returns the token's circulation round as known to this node.
+func (n *Node) Round() uint64 { return n.round }
+
+// LastSeen returns the circulation stamp of this node's last token
+// sighting — the compacted local history of §4.4.
+func (n *Node) LastSeen() uint64 { return n.lastSeen }
+
+// TrapCount returns the number of stored traps.
+func (n *Node) TrapCount() int { return len(n.traps) }
+
+// Config returns the node's configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// Stats is a diagnostic snapshot of a node's protocol state.
+type Stats struct {
+	ID       int
+	Variant  string
+	HasToken bool
+	InCS     bool
+	Pending  bool
+	Round    uint64
+	LastSeen uint64
+	Epoch    uint64
+	Traps    int
+	Served   int
+}
+
+// Stats returns a diagnostic snapshot.
+func (n *Node) Stats() Stats {
+	return Stats{
+		ID:       n.id,
+		Variant:  n.cfg.Variant.String(),
+		HasToken: n.hasToken,
+		InCS:     n.inCS,
+		Pending:  n.pending,
+		Round:    n.round,
+		LastSeen: n.lastSeen,
+		Epoch:    n.epoch,
+		Traps:    len(n.traps),
+		Served:   len(n.served),
+	}
+}
+
+// String renders the snapshot compactly.
+func (s Stats) String() string {
+	state := "idle"
+	switch {
+	case s.InCS:
+		state = "in-CS"
+	case s.HasToken:
+		state = "holding"
+	case s.Pending:
+		state = "waiting"
+	}
+	return fmt.Sprintf("node %d [%s] %s round=%d seen=%d epoch=%d traps=%d",
+		s.ID, s.Variant, state, s.Round, s.LastSeen, s.Epoch, s.Traps)
+}
+
+// Attachment returns the token's application attachment; meaningful only
+// while the node holds the token.
+func (n *Node) Attachment() string { return n.attach }
+
+// SetAttachment replaces the token's application attachment. It fails
+// unless the node currently holds the token.
+func (n *Node) SetAttachment(s string) error {
+	if !n.hasToken {
+		return fmt.Errorf("protocol: node %d does not hold the token", n.id)
+	}
+	n.attach = s
+	return nil
+}
+
+// GiveToken bootstraps this node as the initial token holder.
+func (n *Node) GiveToken(now Time) Effects {
+	var e Effects
+	if n.bootstrapped || n.hasToken {
+		return e
+	}
+	n.bootstrapped = true
+	n.hasToken = true
+	n.returnTo = None
+	n.afterTokenAcquired(now, &e)
+	return e
+}
+
+// Request records that the local application wants the token. The host must
+// call Release after a grant.
+func (n *Node) Request(now Time) Effects {
+	var e Effects
+	if n.inCS || n.pending {
+		return e // already granted or already waiting
+	}
+	if n.hasToken {
+		// The holder's own request is satisfied on the spot.
+		n.reqSeq++
+		n.curGrantSeq = n.reqSeq
+		n.inCS = true
+		e.Granted = true
+		n.holdGen++ // cancel any idle hold
+		n.pushGen++
+		return e
+	}
+	n.pending = true
+	n.reqSeq++
+	n.issueSearch(now, &e)
+	n.armRecovery(&e)
+	return e
+}
+
+// Release hands the token back after a grant. With a decorated token it
+// returns to the interceptor; otherwise rotation continues here.
+func (n *Node) Release(now Time) Effects {
+	var e Effects
+	if !n.inCS {
+		return e
+	}
+	n.inCS = false
+	n.recordServed(n.id, n.curGrantSeq)
+	if n.returnTo != None {
+		// Rule 8: return the used token to its interceptor.
+		dst := n.returnTo
+		n.returnTo = None
+		n.hasToken = false
+		e.send(Message{Kind: MsgToken, From: n.id, To: dst, Round: n.round, Epoch: n.epoch, Attach: n.attach, Served: n.servedSnapshot()})
+		return e
+	}
+	n.afterTokenIdle(now, &e)
+	return e
+}
+
+// HandleMessage processes an incoming message. Malformed messages —
+// off-ring node references — are dropped so a faulty or malicious peer
+// cannot steer traffic off the ring.
+func (n *Node) HandleMessage(now Time, m Message) Effects {
+	var e Effects
+	if !n.validMessage(m) {
+		return e
+	}
+	switch m.Kind {
+	case MsgToken:
+		n.handleToken(now, m, &e)
+	case MsgTokenReturn:
+		n.handleTokenReturn(now, m, &e)
+	case MsgSearch:
+		n.handleSearch(now, m, &e)
+	case MsgProbe:
+		n.handleProbe(now, m, &e)
+	case MsgProbeReply:
+		n.handleProbeReply(now, m, &e)
+	case MsgWantQuery:
+		n.handleWantQuery(now, m, &e)
+	case MsgWantReply:
+		n.handleWantReply(now, m, &e)
+	case MsgRecoveryProbe:
+		n.handleRecoveryProbe(now, m, &e)
+	case MsgRecoveryReply:
+		n.handleRecoveryReply(now, m, &e)
+	}
+	return e
+}
+
+// validMessage checks that every node reference in a message is on the
+// ring (ReturnTo may also be None).
+func (n *Node) validMessage(m Message) bool {
+	onRing := func(x int) bool { return x >= 0 && x < n.cfg.N }
+	if !onRing(m.From) || !onRing(m.To) {
+		return false
+	}
+	switch m.Kind {
+	case MsgTokenReturn:
+		// A decorated token always names its requester and the
+		// interceptor it must come back to.
+		return onRing(m.Requester) && onRing(m.ReturnTo)
+	case MsgSearch, MsgProbe, MsgProbeReply, MsgWantReply:
+		return onRing(m.Requester)
+	default:
+		return true
+	}
+}
+
+// HandleTimer processes a previously armed timer.
+func (n *Node) HandleTimer(now Time, kind TimerKind, gen uint64) Effects {
+	var e Effects
+	switch kind {
+	case TimerHold:
+		if gen != n.holdGen || !n.hasToken || n.inCS {
+			return e
+		}
+		if n.deliverNext(now, &e) {
+			return e
+		}
+		n.passToken(now, &e)
+	case TimerResearch:
+		if !n.pending || gen != n.reqSeq {
+			return e
+		}
+		n.issueSearch(now, &e)
+	case TimerPushRound:
+		if gen != n.pushGen || !n.hasToken || n.inCS {
+			return e
+		}
+		if n.deliverNext(now, &e) {
+			return e
+		}
+		n.passToken(now, &e)
+	case TimerRecovery:
+		n.handleRecoveryTimer(now, gen, &e)
+	case TimerRecoveryDecide:
+		n.handleRecoveryDecide(now, gen, &e)
+	}
+	return e
+}
+
+// handleToken receives the regular circulating token (rule 3), or a
+// decorated token coming home after use.
+func (n *Node) handleToken(now Time, m Message, e *Effects) {
+	if n.staleToken(m) {
+		return // a regenerated token superseded this one
+	}
+	n.hasToken = true
+	n.returnTo = None
+	n.round = m.Round
+	n.attach = m.Attach
+	if m.Round > n.lastSeen {
+		n.lastSeen = m.Round
+	}
+	n.adoptServed(m.Served)
+	n.ageTraps()
+	n.afterTokenAcquired(now, e)
+}
+
+// afterTokenAcquired dispatches a freshly acquired token: local grant
+// first, then trapped requesters, then idle rotation.
+func (n *Node) afterTokenAcquired(now Time, e *Effects) {
+	if n.pending {
+		n.pending = false
+		n.curGrantSeq = n.reqSeq
+		n.inCS = true
+		e.Granted = true
+		return
+	}
+	n.afterTokenIdle(now, e)
+}
+
+// afterTokenIdle serves traps or schedules the onward pass.
+func (n *Node) afterTokenIdle(now Time, e *Effects) {
+	if n.deliverNext(now, e) {
+		return
+	}
+	if n.cfg.Variant == PushProbe || n.cfg.Variant == Combined {
+		n.startPushRound(now, e)
+		return
+	}
+	hold := n.nextHold()
+	if hold <= 0 {
+		n.passToken(now, e)
+		return
+	}
+	n.holdGen++
+	e.arm(hold, TimerHold, n.holdGen)
+}
+
+// nextHold computes the idle hold before the next pass, applying the
+// adaptive-speed backoff when configured.
+func (n *Node) nextHold() Time {
+	if !n.cfg.AdaptiveSpeed {
+		return n.cfg.HoldIdle
+	}
+	if n.sawDemand {
+		n.holdCur = n.cfg.MinHold
+	} else {
+		next := n.holdCur * 2
+		if next <= n.holdCur {
+			next = n.holdCur + 1
+		}
+		if next > n.cfg.MaxHold {
+			next = n.cfg.MaxHold
+		}
+		if next < n.cfg.MinHold {
+			next = n.cfg.MinHold
+		}
+		n.holdCur = next
+	}
+	n.sawDemand = false
+	return n.holdCur
+}
+
+// passToken sends the token to the ring successor (rule 4). The hop is a
+// circulation event: the round counter increments.
+func (n *Node) passToken(_ Time, e *Effects) {
+	n.round++
+	n.lastSeen = n.round
+	n.hasToken = false
+	n.holdGen++
+	n.pushGen++
+	e.send(Message{Kind: MsgToken, From: n.id, To: n.rg.Next(n.id), Round: n.round, Epoch: n.epoch, Attach: n.attach, Served: n.servedSnapshot()})
+}
+
+// deliverNext pops the oldest live trap and sends the decorated token to
+// its requester (rule 7). It reports whether a delivery happened.
+func (n *Node) deliverNext(_ Time, e *Effects) bool {
+	tr, ok := n.popTrap()
+	if !ok {
+		return false
+	}
+	n.hasToken = false
+	n.holdGen++
+	n.pushGen++
+	to := tr.requester
+	if n.cfg.TrapGC == GCInverse && tr.from != tr.requester && tr.from != n.id && tr.from != None {
+		// Inverse clean-up: trace the search trail backwards,
+		// removing traps en route.
+		to = tr.from
+	}
+	e.send(Message{
+		Kind:      MsgTokenReturn,
+		From:      n.id,
+		To:        to,
+		Round:     n.round,
+		Epoch:     n.epoch,
+		Attach:    n.attach,
+		Served:    n.servedSnapshot(),
+		ReturnTo:  n.id,
+		Requester: tr.requester,
+		ReqSeq:    tr.reqSeq,
+	})
+	return true
+}
+
+// handleTokenReturn receives a decorated token: either the final delivery
+// to the requester (rule 8) or an inverse-GC hop through the search trail.
+func (n *Node) handleTokenReturn(now Time, m Message, e *Effects) {
+	if n.staleToken(m) {
+		return
+	}
+	if m.Round > n.lastSeen {
+		n.lastSeen = m.Round
+	}
+	if m.Requester != n.id {
+		// Inverse-GC routing hop: drop the local trap for this
+		// requester and forward along the trail.
+		next := m.Requester
+		if tr, ok := n.removeTrap(m.Requester); ok {
+			if tr.from != m.Requester && tr.from != n.id && tr.from != None {
+				next = tr.from
+			}
+		}
+		fwd := m
+		fwd.From = n.id
+		fwd.To = next
+		fwd.Hops = m.Hops + 1
+		e.send(fwd)
+		return
+	}
+	// Delivery for me.
+	n.round = m.Round
+	if n.pending {
+		n.pending = false
+		n.curGrantSeq = n.reqSeq
+		n.inCS = true
+		n.hasToken = true
+		n.attach = m.Attach
+		n.adoptServed(m.Served)
+		n.returnTo = m.ReturnTo
+		e.Granted = true
+		return
+	}
+	// Stale trap: use the token vacuously and return it (rule 8 with
+	// φ data).
+	e.send(Message{Kind: MsgToken, From: n.id, To: m.ReturnTo, Round: m.Round, Epoch: m.Epoch, Attach: m.Attach, Served: m.Served})
+}
+
+// addTrap stores τ_requester, deduplicating by requester and respecting the
+// table bound. It reports whether the trap is stored (or already present).
+func (n *Node) addTrap(requester int, reqSeq uint64, from int, stamp uint64) bool {
+	if requester == n.id {
+		return false
+	}
+	for i := range n.traps {
+		if n.traps[i].requester == requester {
+			if reqSeq > n.traps[i].reqSeq {
+				n.traps[i].reqSeq = reqSeq
+				n.traps[i].from = from
+				n.traps[i].bornRound = n.freshRound(stamp)
+			}
+			return true
+		}
+	}
+	if n.cfg.MaxTraps > 0 && len(n.traps) >= n.cfg.MaxTraps {
+		return false
+	}
+	n.traps = append(n.traps, trapEntry{
+		requester: requester,
+		reqSeq:    reqSeq,
+		from:      from,
+		bornRound: n.freshRound(stamp),
+	})
+	return true
+}
+
+// freshRound returns the freshest circulation round known locally, folding
+// in a stamp carried by a message.
+func (n *Node) freshRound(stamp uint64) uint64 {
+	if stamp > n.lastSeen {
+		return stamp
+	}
+	return n.lastSeen
+}
+
+// popTrap removes and returns the oldest live trap, skipping (and
+// discarding) traps whose request the satisfaction record shows complete.
+func (n *Node) popTrap() (trapEntry, bool) {
+	n.ageTraps()
+	for len(n.traps) > 0 {
+		tr := n.traps[0]
+		n.traps = append(n.traps[:0], n.traps[1:]...)
+		if n.cfg.TrapGC == GCRotation && n.isServed(tr) {
+			continue
+		}
+		return tr, true
+	}
+	return trapEntry{}, false
+}
+
+// removeTrap removes the trap for requester, if present.
+func (n *Node) removeTrap(requester int) (trapEntry, bool) {
+	for i := range n.traps {
+		if n.traps[i].requester == requester {
+			tr := n.traps[i]
+			n.traps = append(n.traps[:i], n.traps[i+1:]...)
+			return tr, true
+		}
+	}
+	return trapEntry{}, false
+}
+
+// ageTraps drops traps older than the TTL under rotation GC.
+func (n *Node) ageTraps() {
+	if n.cfg.TrapGC != GCRotation {
+		return
+	}
+	ttl := uint64(n.cfg.TrapTTLRounds)
+	if ttl == 0 {
+		ttl = uint64(2 * n.cfg.N)
+	}
+	live := n.traps[:0]
+	for _, tr := range n.traps {
+		if n.lastSeen < tr.bornRound+ttl {
+			live = append(live, tr)
+		}
+	}
+	n.traps = live
+}

@@ -1,0 +1,151 @@
+package protocol
+
+// Token-loss recovery (the paper's §5 failure sketch): "If a node x with
+// the token fails, then nothing will happen until some other node y needs
+// the token, at which point it will quickly discover that the token holder
+// has failed (provided a time-out based detection is available) ... they
+// can generate a new token."
+//
+// Operationally: a requester whose grant does not arrive within
+// RecoveryTimeout probes the other nodes. Replies report whether anyone
+// holds the token and the freshest circulation stamp seen. If nobody claims
+// possession within the decision window, the requester regenerates the
+// token under a higher epoch; tokens of older epochs are discarded on
+// sight. As in the paper, safety of regeneration relies on the timeout
+// being a faithful failure detector — a live-but-slow holder would briefly
+// coexist with the regenerated token until its stale epoch is dropped.
+
+// Recovery message kinds and timer, extending the core sets in protocol.go.
+const (
+	// MsgRecoveryProbe asks a node whether the token is alive.
+	MsgRecoveryProbe MsgKind = iota + 100
+	// MsgRecoveryReply answers a recovery probe.
+	MsgRecoveryReply
+)
+
+// Recovery timers.
+const (
+	// TimerRecovery fires when a pending request has waited long enough
+	// to suspect the token is lost.
+	TimerRecovery TimerKind = iota + 100
+	// TimerRecoveryDecide closes a probe round and decides whether to
+	// regenerate.
+	TimerRecoveryDecide
+)
+
+// recoveryState tracks one probe round.
+type recoveryState struct {
+	active      bool
+	gen         uint64
+	replies     int
+	holderSeen  bool
+	maxStamp    uint64
+	maxEpoch    uint64
+	probeSeenAt Time
+}
+
+// armRecovery arms the token-loss timer for the current request, when
+// enabled.
+func (n *Node) armRecovery(e *Effects) {
+	if n.cfg.RecoveryTimeout <= 0 {
+		return
+	}
+	e.arm(n.cfg.RecoveryTimeout, TimerRecovery, n.reqSeq)
+}
+
+// handleRecoveryTimer starts a probe round if the request is still unserved.
+func (n *Node) handleRecoveryTimer(now Time, gen uint64, e *Effects) {
+	if !n.pending || gen != n.reqSeq || n.hasToken {
+		return
+	}
+	n.recovery = recoveryState{active: true, gen: gen, maxStamp: n.lastSeen, maxEpoch: n.epoch}
+	for i := 0; i < n.cfg.N; i++ {
+		if i == n.id {
+			continue
+		}
+		e.send(Message{Kind: MsgRecoveryProbe, From: n.id, To: i, Round: n.lastSeen, Epoch: n.epoch})
+	}
+	window := n.cfg.RecoveryTimeout / 2
+	if window < 2 {
+		window = 2
+	}
+	e.arm(window, TimerRecoveryDecide, gen)
+	_ = now
+}
+
+// handleRecoveryProbe answers with this node's view of the token.
+func (n *Node) handleRecoveryProbe(_ Time, m Message, e *Effects) {
+	n.adoptEpoch(m.Epoch)
+	e.send(Message{
+		Kind:     MsgRecoveryReply,
+		From:     n.id,
+		To:       m.From,
+		Round:    n.lastSeen,
+		Epoch:    n.epoch,
+		HasToken: n.hasToken,
+	})
+}
+
+// handleRecoveryReply accumulates probe answers.
+func (n *Node) handleRecoveryReply(_ Time, m Message, _ *Effects) {
+	n.adoptEpoch(m.Epoch)
+	if !n.recovery.active {
+		return
+	}
+	n.recovery.replies++
+	if m.HasToken {
+		n.recovery.holderSeen = true
+	}
+	if m.Round > n.recovery.maxStamp {
+		n.recovery.maxStamp = m.Round
+	}
+	if m.Epoch > n.recovery.maxEpoch {
+		n.recovery.maxEpoch = m.Epoch
+	}
+}
+
+// handleRecoveryDecide closes the probe round: regenerate the token unless
+// some reply claimed it (or it arrived here meanwhile).
+func (n *Node) handleRecoveryDecide(now Time, gen uint64, e *Effects) {
+	if !n.recovery.active || n.recovery.gen != gen {
+		return
+	}
+	st := n.recovery
+	n.recovery = recoveryState{}
+	if !n.pending || n.hasToken {
+		return
+	}
+	if st.holderSeen {
+		// The token is alive somewhere; keep waiting and re-arm the
+		// suspicion timer.
+		n.armRecovery(e)
+		return
+	}
+	// Regenerate: a fresh token under a higher epoch, with a round
+	// beyond anything any reachable node has seen, so stamp comparisons
+	// stay monotone.
+	n.epoch = st.maxEpoch + 1
+	n.round = st.maxStamp + 1
+	n.lastSeen = n.round
+	n.hasToken = true
+	n.returnTo = None
+	n.afterTokenAcquired(now, e)
+}
+
+// adoptEpoch raises this node's epoch to the freshest seen, so stale-token
+// detection is monotone across the ring.
+func (n *Node) adoptEpoch(epoch uint64) {
+	if epoch > n.epoch {
+		n.epoch = epoch
+	}
+}
+
+// staleToken reports (and absorbs) a token message from an obsolete epoch:
+// a regenerated token has superseded it, so it must be discarded on sight.
+func (n *Node) staleToken(m Message) bool {
+	if m.Epoch < n.epoch {
+		return true
+	}
+	n.adoptEpoch(m.Epoch)
+	return false
+}

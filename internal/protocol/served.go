@@ -1,0 +1,77 @@
+package protocol
+
+// Rotation-GC satisfaction records (§4.4): the token carries the recently
+// granted (requester, reqSeq) pairs; any node the token visits drops traps
+// whose request was already served, and the holder skips such traps
+// entirely instead of bouncing a decorated token off a satisfied node.
+
+// servedCap returns the configured bound on the satisfaction record.
+func (n *Node) servedCap() int {
+	if n.cfg.ServedCap > 0 {
+		return n.cfg.ServedCap
+	}
+	c := 2 * n.cfg.N
+	if c > 512 {
+		c = 512
+	}
+	return c
+}
+
+// recordServed appends a satisfied request to the token's record,
+// deduplicating by requester (the freshest sequence wins) and trimming to
+// the cap. Only meaningful under rotation GC.
+func (n *Node) recordServed(requester int, reqSeq uint64) {
+	if n.cfg.TrapGC != GCRotation {
+		return
+	}
+	for i := range n.served {
+		if n.served[i].Requester == requester {
+			if reqSeq > n.served[i].ReqSeq {
+				n.served[i].ReqSeq = reqSeq
+			}
+			return
+		}
+	}
+	n.served = append(n.served, ServedRec{Requester: requester, ReqSeq: reqSeq})
+	if cap := n.servedCap(); len(n.served) > cap {
+		n.served = append(n.served[:0], n.served[len(n.served)-cap:]...)
+	}
+}
+
+// adoptServed replaces the local copy of the token's satisfaction record
+// and sweeps satisfied traps.
+func (n *Node) adoptServed(recs []ServedRec) {
+	if n.cfg.TrapGC != GCRotation {
+		return
+	}
+	n.served = append(n.served[:0:0], recs...)
+	if len(n.traps) == 0 {
+		return
+	}
+	live := n.traps[:0]
+	for _, tr := range n.traps {
+		if !n.isServed(tr) {
+			live = append(live, tr)
+		}
+	}
+	n.traps = live
+}
+
+// isServed reports whether a trap's request already completed according to
+// the satisfaction record.
+func (n *Node) isServed(tr trapEntry) bool {
+	for _, rec := range n.served {
+		if rec.Requester == tr.requester && rec.ReqSeq >= tr.reqSeq {
+			return true
+		}
+	}
+	return false
+}
+
+// servedSnapshot returns the record to stamp on an outgoing token message.
+func (n *Node) servedSnapshot() []ServedRec {
+	if n.cfg.TrapGC != GCRotation || len(n.served) == 0 {
+		return nil
+	}
+	return append([]ServedRec(nil), n.served...)
+}

@@ -1,0 +1,78 @@
+// Package ring provides the logical ring topology arithmetic used by every
+// protocol in this repository: successor/predecessor math (the paper's
+// x^{+n} and x^{-n} notation), arc distances, and the half-way targets of
+// the binary search.
+package ring
+
+import "fmt"
+
+// Ring is a logical ring of n positions 0..n-1. The zero value is invalid;
+// use New.
+type Ring struct {
+	n int
+}
+
+// New returns a ring of n nodes. n must be at least 1.
+func New(n int) (Ring, error) {
+	if n < 1 {
+		return Ring{}, fmt.Errorf("ring: size %d, need at least 1", n)
+	}
+	return Ring{n: n}, nil
+}
+
+// MustNew is New for callers with known-good sizes (tests, benchmarks);
+// it panics on invalid n.
+func MustNew(n int) Ring {
+	r, err := New(n)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// N returns the ring size.
+func (r Ring) N() int { return r.n }
+
+// Contains reports whether x is a valid position.
+func (r Ring) Contains(x int) bool { return x >= 0 && x < r.n }
+
+// Succ returns x^{+k}: the k-th successor of x, walking clockwise. k may be
+// negative or larger than the ring.
+func (r Ring) Succ(x, k int) int {
+	m := (x + k) % r.n
+	if m < 0 {
+		m += r.n
+	}
+	return m
+}
+
+// Next returns x^{+1}.
+func (r Ring) Next(x int) int { return r.Succ(x, 1) }
+
+// Prev returns x^{-1}.
+func (r Ring) Prev(x int) int { return r.Succ(x, -1) }
+
+// Dist returns the clockwise distance from x to y in [0, n).
+func (r Ring) Dist(x, y int) int {
+	d := (y - x) % r.n
+	if d < 0 {
+		d += r.n
+	}
+	return d
+}
+
+// MinArc returns the length of the shorter arc between x and y.
+func (r Ring) MinArc(x, y int) int {
+	d := r.Dist(x, y)
+	if rev := r.n - d; rev < d {
+		return rev
+	}
+	return d
+}
+
+// HalfWindow returns the initial binary-search window ⌈n/2⌉: the distance
+// of the "node directly across the ring" that receives the first gimme.
+func (r Ring) HalfWindow() int { return (r.n + 1) / 2 }
+
+// Across returns x^{+⌈n/2⌉}, the node directly across the ring from x.
+func (r Ring) Across(x int) int { return r.Succ(x, r.HalfWindow()) }

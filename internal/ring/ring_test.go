@@ -1,0 +1,112 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNew(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("size 0 must be rejected")
+	}
+	if _, err := New(-3); err == nil {
+		t.Error("negative size must be rejected")
+	}
+	r, err := New(5)
+	if err != nil || r.N() != 5 {
+		t.Fatalf("New(5) = %v, %v", r, err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(0) must panic")
+		}
+	}()
+	MustNew(0)
+}
+
+func TestSuccPrevNext(t *testing.T) {
+	r := MustNew(5)
+	cases := []struct{ x, k, want int }{
+		{0, 1, 1}, {4, 1, 0}, {0, -1, 4}, {2, 7, 4}, {2, -7, 0}, {3, 0, 3}, {1, 10, 1},
+	}
+	for _, c := range cases {
+		if got := r.Succ(c.x, c.k); got != c.want {
+			t.Errorf("Succ(%d, %d) = %d, want %d", c.x, c.k, got, c.want)
+		}
+	}
+	if r.Next(4) != 0 || r.Prev(0) != 4 {
+		t.Error("Next/Prev wrap broken")
+	}
+}
+
+func TestDist(t *testing.T) {
+	r := MustNew(8)
+	if r.Dist(1, 5) != 4 || r.Dist(5, 1) != 4 {
+		t.Error("Dist broken")
+	}
+	if r.Dist(3, 3) != 0 {
+		t.Error("Dist to self must be 0")
+	}
+	if r.Dist(7, 0) != 1 {
+		t.Error("Dist wrap broken")
+	}
+}
+
+func TestMinArc(t *testing.T) {
+	r := MustNew(8)
+	if r.MinArc(0, 5) != 3 {
+		t.Errorf("MinArc(0,5) = %d, want 3", r.MinArc(0, 5))
+	}
+	if r.MinArc(0, 4) != 4 {
+		t.Errorf("MinArc(0,4) = %d", r.MinArc(0, 4))
+	}
+}
+
+func TestAcrossAndHalfWindow(t *testing.T) {
+	even := MustNew(8)
+	if even.HalfWindow() != 4 || even.Across(1) != 5 {
+		t.Error("even across broken")
+	}
+	odd := MustNew(7)
+	if odd.HalfWindow() != 4 || odd.Across(6) != 3 {
+		t.Errorf("odd across = %d (window %d)", odd.Across(6), odd.HalfWindow())
+	}
+	one := MustNew(1)
+	if one.Across(0) != 0 {
+		t.Error("singleton ring across")
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := MustNew(3)
+	if !r.Contains(0) || !r.Contains(2) || r.Contains(3) || r.Contains(-1) {
+		t.Error("Contains broken")
+	}
+}
+
+func TestQuickSuccInverse(t *testing.T) {
+	f := func(x, k uint8, nRaw uint8) bool {
+		n := int(nRaw%31) + 1
+		r := MustNew(n)
+		pos := int(x) % n
+		return r.Succ(r.Succ(pos, int(k)), -int(k)) == pos
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDistSuccConsistent(t *testing.T) {
+	f := func(x, y uint8, nRaw uint8) bool {
+		n := int(nRaw%31) + 1
+		r := MustNew(n)
+		a, b := int(x)%n, int(y)%n
+		return r.Succ(a, r.Dist(a, b)) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

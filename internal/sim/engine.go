@@ -1,0 +1,142 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// used to reproduce the paper's performance evaluation (§4.3). It implements
+// the paper's cost model: rules affecting only local state cost zero time,
+// message passing costs constant time (one simulated time unit per hop by
+// default).
+//
+// The kernel is single-goroutine and fully deterministic: events at equal
+// times fire in scheduling order, and all randomness flows from a seeded
+// SplitMix64 generator, so every experiment is exactly reproducible from its
+// seed.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+)
+
+// Time is a point in simulated time, in abstract time units (the paper's
+// "message delays").
+type Time int64
+
+// Engine is a discrete-event simulator: a priority queue of timestamped
+// callbacks and a virtual clock.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	rng    *RNG
+	events int
+}
+
+// NewEngine returns an engine with its clock at zero and randomness seeded
+// by seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic random source.
+func (e *Engine) RNG() *RNG { return e.rng }
+
+// Events returns the number of events executed so far.
+func (e *Engine) Events() int { return e.events }
+
+// Pending returns the number of scheduled, not yet executed events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// ErrPastEvent is returned when scheduling strictly before the current time.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// At schedules fn to run at absolute time t. Events at equal times run in
+// scheduling order.
+func (e *Engine) At(t Time, fn func()) error {
+	if t < e.now {
+		return ErrPastEvent
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	return nil
+}
+
+// After schedules fn to run d time units from now. Negative delays are
+// clamped to zero.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	// Scheduling now or later can never fail.
+	_ = e.At(e.now+d, fn)
+}
+
+// Step executes the earliest pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.at
+	e.events++
+	ev.fn()
+	return true
+}
+
+// RunUntil executes events until the clock would pass limit or the queue
+// drains. Events scheduled exactly at limit still run. It returns the
+// number of events executed.
+func (e *Engine) RunUntil(limit Time) int {
+	n := 0
+	for len(e.queue) > 0 && e.queue[0].at <= limit {
+		e.Step()
+		n++
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+	return n
+}
+
+// Drain executes events until none remain or maxEvents have run. It returns
+// the number of events executed.
+func (e *Engine) Drain(maxEvents int) int {
+	n := 0
+	for n < maxEvents && e.Step() {
+		n++
+	}
+	return n
+}
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // FIFO tie-breaker at equal times
+	fn  func()
+}
+
+// eventHeap is a min-heap on (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,180 @@
+package spec
+
+import (
+	"fmt"
+
+	"adaptivetoken/internal/trs"
+)
+
+// stateField extracts field i of a labeled state tuple.
+func stateField(t trs.Term, label string, i int) (trs.Term, error) {
+	tp, ok := t.(trs.Tuple)
+	if !ok || tp.Label() != label {
+		return nil, fmt.Errorf("state is not a %s tuple: %s", label, t)
+	}
+	if i >= tp.Len() {
+		return nil, fmt.Errorf("%s state has %d fields, want field %d", label, tp.Len(), i)
+	}
+	return tp.At(i), nil
+}
+
+func bagField(t trs.Term, label string, i int) (trs.Bag, error) {
+	f, err := stateField(t, label, i)
+	if err != nil {
+		return trs.EmptyBag(), err
+	}
+	b, ok := f.(trs.Bag)
+	if !ok {
+		return trs.EmptyBag(), fmt.Errorf("%s field %d is %s, want bag", label, i, f.Kind())
+	}
+	return b, nil
+}
+
+func seqField(t trs.Term, label string, i int) (trs.Seq, error) {
+	f, err := stateField(t, label, i)
+	if err != nil {
+		return trs.EmptySeq(), err
+	}
+	s, ok := f.(trs.Seq)
+	if !ok {
+		return trs.EmptySeq(), fmt.Errorf("%s field %d is %s, want seq", label, i, f.Kind())
+	}
+	return s, nil
+}
+
+// PrefixInvariant checks Definition 2 for the centralized systems S1 and
+// Token (state layouts (Q, H, P, ...)): every node's local history is a
+// prefix of the global history H.
+func PrefixInvariant(label string) trs.Invariant {
+	return trs.Invariant{
+		Name: "prefix-property",
+		Check: func(state trs.Term) error {
+			h, err := seqField(state, label, 1)
+			if err != nil {
+				return err
+			}
+			p, err := bagField(state, label, 2)
+			if err != nil {
+				return err
+			}
+			for _, local := range historiesInBag(p) {
+				if !local.IsPrefixOf(h) {
+					return fmt.Errorf("local history %s is not a prefix of global %s", local, h)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// ChainInvariant checks the distributed generalization of the prefix
+// property for Message-Passing, Search and BinarySearch (state layouts
+// (Q, P, T, I, O[, W])): every pair of histories in the state — local
+// prefix histories and histories carried by in-flight messages — is
+// prefix-comparable, i.e. all observations extend one global order.
+func ChainInvariant(label string) trs.Invariant {
+	return trs.Invariant{
+		Name: "prefix-chain",
+		Check: func(state trs.Term) error {
+			p, err := bagField(state, label, 1)
+			if err != nil {
+				return err
+			}
+			in, err := bagField(state, label, 3)
+			if err != nil {
+				return err
+			}
+			out, err := bagField(state, label, 4)
+			if err != nil {
+				return err
+			}
+			return chainError(distributedHistories(p, in, out))
+		},
+	}
+}
+
+// TokenUniquenessInvariant checks that the distributed systems never
+// duplicate the token: either some node holds it (T ≠ ⊥) and no token
+// message is in flight, or T = ⊥ and exactly one token (or decorated
+// token) message is in flight. This is the essence of the mutual-exclusion
+// guarantee.
+func TokenUniquenessInvariant(label string) trs.Invariant {
+	countTokens := func(inOut trs.Bag) int {
+		n := 0
+		for i := 0; i < inOut.Len(); i++ {
+			entry, ok := inOut.At(i).(trs.Tuple)
+			if !ok || entry.Len() != 2 {
+				continue
+			}
+			inner, ok := entry.At(1).(trs.Tuple)
+			if !ok || inner.Len() != 2 {
+				continue
+			}
+			payload, ok := inner.At(1).(trs.Tuple)
+			if !ok {
+				continue
+			}
+			if payload.Label() == labelToken || payload.Label() == labelReturn {
+				n++
+			}
+		}
+		return n
+	}
+	return trs.Invariant{
+		Name: "token-uniqueness",
+		Check: func(state trs.Term) error {
+			holder, err := stateField(state, label, 2)
+			if err != nil {
+				return err
+			}
+			in, err := bagField(state, label, 3)
+			if err != nil {
+				return err
+			}
+			out, err := bagField(state, label, 4)
+			if err != nil {
+				return err
+			}
+			inFlight := countTokens(in) + countTokens(out)
+			held := !trs.Equal(holder, bottom)
+			switch {
+			case held && inFlight != 0:
+				return fmt.Errorf("token held by %s with %d token messages in flight", holder, inFlight)
+			case !held && inFlight != 1:
+				return fmt.Errorf("token in transit but %d token messages in flight", inFlight)
+			default:
+				return nil
+			}
+		},
+	}
+}
+
+// QCompleteInvariant checks that Q always holds exactly one request pair
+// per node — the reset-semantics well-formedness condition.
+func QCompleteInvariant(label string, n int) trs.Invariant {
+	return trs.Invariant{
+		Name: "q-complete",
+		Check: func(state trs.Term) error {
+			q, err := bagField(state, label, 0)
+			if err != nil {
+				return err
+			}
+			seen := make(map[int64]int, n)
+			for i := 0; i < q.Len(); i++ {
+				pair, ok := q.At(i).(trs.Tuple)
+				if !ok || pair.Len() != 2 {
+					return fmt.Errorf("malformed Q entry %s", q.At(i))
+				}
+				x, ok := pair.At(0).(trs.Int)
+				if !ok {
+					return fmt.Errorf("non-integer node in Q entry %s", pair)
+				}
+				seen[int64(x)]++
+			}
+			if len(seen) != n || q.Len() != n {
+				return fmt.Errorf("Q has %d entries over %d nodes, want exactly %d", q.Len(), len(seen), n)
+			}
+			return nil
+		},
+	}
+}

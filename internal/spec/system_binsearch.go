@@ -1,0 +1,181 @@
+package spec
+
+import "adaptivetoken/internal/trs"
+
+// NewSystemBinarySearch builds System BinarySearch (Figure 7), the paper's
+// final protocol: circular token rotation combined with a binary search for
+// the token. State: (Q, P, T, I, O, W).
+//
+//	1  new data                (as Search)
+//	2  message transit         (as Search)
+//	3  receive regular token   (as Search)
+//	4  broadcast & pass token to x⁺¹, recording a circulation event
+//	5  ready node x traps itself and sends a gimme across the ring
+//	   (to x^{+⌈N/2⌉}) carrying its local history and the hop window
+//	6  gimme receiver traps τ_z and forwards half-way: to x^{−n/2} if
+//	   H ⊂_C H_z (the requester's history is strictly fresher — the token
+//	   passed z after x, chase it backwards), else to x^{+n/2};
+//	   the window halves each hop and the search expires below 2
+//	7  holder with trap τ_y sends the token *decorated* (ŷ) to y
+//	8  y uses the decorated token once — appends its data — and returns
+//	   it to the sender, so rotation resumes where it was intercepted
+func NewSystemBinarySearch(p Params) trs.System {
+	return trs.System{
+		Name: "BinarySearch",
+		Init: trs.NewTuple(labelBin,
+			initQ(p.N), initP(p.N), node(0),
+			trs.EmptyBag(), trs.EmptyBag(), trs.EmptyBag()),
+		Rules: []trs.Rule{
+			ruleNewDataDist(p, labelBin, 6),
+			transitRule(labelBin, []string{"Q", "P", "t"}, []string{"W"}),
+			ruleBinReceiveToken(),
+			ruleBinPass(p),
+			ruleBinInitiate(p),
+			ruleBinForward(p),
+			ruleSearchDeliver(labelBin, true),
+			ruleBinUseAndReturn(),
+		},
+	}
+}
+
+// ruleBinReceiveToken is rule 3, identical to System Search's rule 3 but on
+// the Bin state label.
+func ruleBinReceiveToken() trs.Rule {
+	r := ruleSearchReceiveToken(labelBin)
+	return r
+}
+
+// ruleBinPass is rule 4, identical to System Search's rule 4 but on the Bin
+// state label.
+func ruleBinPass(p Params) trs.Rule {
+	return ruleSearchPass(p, labelBin)
+}
+
+// ruleBinInitiate is rule 5: the gimme goes half-way around the ring and
+// carries the requester's local prefix history for the ⊂_C comparison.
+func ruleBinInitiate(p Params) trs.Rule {
+	half := (p.N + 1) / 2
+	return trs.Rule{
+		Name: "5",
+		LHS: trs.LTup(labelBin,
+			bagWith("Q", "x", "dx"),
+			bagWith("P", "px", "H"),
+			trs.V("t"),
+			trs.V("I"),
+			trs.V("O"),
+			trs.V("W"),
+		),
+		Guard: func(b trs.Binding) bool {
+			if !trs.Equal(b.MustGet("px"), b.MustGet("x")) {
+				return false
+			}
+			if b.Seq("dx").Len() == 0 {
+				return false
+			}
+			x := b.MustGet("x")
+			if hasTrapFor(b.Bag("W"), x) {
+				return false
+			}
+			return !hasSearchFor(b.Bag("I"), x) && !hasSearchFor(b.Bag("O"), x)
+		},
+		RHS: trs.LTup(labelBin,
+			trs.BagOf("Q", pairPat("x", "dx")),
+			trs.BagOf("P", pairPat("px", "H")),
+			trs.V("t"),
+			trs.V("I"),
+			trs.Compute("O|(x,(x+N/2,gimme))", func(b trs.Binding) trs.Term {
+				x := b.Int("x")
+				msg := searchMsg(trs.Int(half), b.Seq("H"), b.MustGet("x"))
+				return b.Bag("O").Add(outEntry(b.MustGet("x"), succ(x, half, p.N), msg))
+			}),
+			trs.Compute("W|(x,τx)", func(b trs.Binding) trs.Term {
+				x := b.MustGet("x")
+				return b.Bag("W").Add(trapAt(x, x))
+			}),
+		),
+	}
+}
+
+// ruleBinForward is rule 6: the halving, direction-sensitive forward.
+func ruleBinForward(p Params) trs.Rule {
+	return trs.Rule{
+		Name: "6",
+		LHS: trs.LTup(labelBin,
+			trs.V("Q"),
+			bagWith("P", "x", "H"),
+			trs.V("t"),
+			trs.BagOf("I", trs.Tup(trs.V("rx"), trs.Tup(trs.V("y"), trs.LTup(labelSearch, trs.V("n"), trs.V("Hz"), trs.V("z"))))),
+			trs.V("O"),
+			trs.V("W"),
+		),
+		Guard: func(b trs.Binding) bool {
+			return trs.Equal(b.MustGet("rx"), b.MustGet("x"))
+		},
+		RHS: trs.LTup(labelBin,
+			trs.V("Q"),
+			trs.BagOf("P", pairPat("x", "H")),
+			trs.V("t"),
+			trs.V("I"),
+			trs.Compute("O(+halved fwd)", func(b trs.Binding) trs.Term {
+				n := int(b.Int("n"))
+				if n < 2 {
+					return b.MustGet("O") // window exhausted: trap only
+				}
+				x := b.Int("x")
+				h, hz := b.Seq("H"), b.Seq("Hz")
+				hop := n / 2
+				var dest trs.Int
+				if prefixC(h, hz) && !trs.Equal(projectCirc(h), projectCirc(hz)) {
+					// H ⊂_C H_z strictly: the token passed the
+					// requester more recently than it passed x.
+					dest = succ(x, -hop, p.N)
+				} else {
+					dest = succ(x, +hop, p.N)
+				}
+				msg := searchMsg(trs.Int(hop), hz, b.MustGet("z"))
+				return b.Bag("O").Add(outEntry(b.MustGet("x"), dest, msg))
+			}),
+			trs.Compute("W(+τz)", func(b trs.Binding) trs.Term {
+				w := b.Bag("W")
+				x, z := b.MustGet("x"), b.MustGet("z")
+				if trs.Equal(x, z) || hasTrap(w, x, z) {
+					return w
+				}
+				return w.Add(trapAt(x, z))
+			}),
+		),
+	}
+}
+
+// ruleBinUseAndReturn is rule 8: a node holding pending data receives the
+// decorated token, appends its data, and immediately sends the token back
+// to the sender. The token remains logically in transit (T stays ⊥).
+func ruleBinUseAndReturn() trs.Rule {
+	newHist := appendedHistory("H", "dx")
+	return trs.Rule{
+		Name: "8",
+		LHS: trs.LTup(labelBin,
+			bagWith("Q", "x", "dx"),
+			bagWith("P", "px", "hx"),
+			trs.Lit(bottom),
+			trs.BagOf("I", trs.Tup(trs.V("rx"), trs.Tup(trs.V("y"), trs.LTup(labelReturn, trs.V("H"))))),
+			trs.V("O"),
+			trs.V("W"),
+		),
+		Guard: func(b trs.Binding) bool {
+			return trs.Equal(b.MustGet("rx"), b.MustGet("x")) &&
+				trs.Equal(b.MustGet("px"), b.MustGet("x"))
+		},
+		RHS: trs.LTup(labelBin,
+			restPlusReset("Q", "x"),
+			restPlusPair("P", "px", newHist),
+			trs.Lit(bottom),
+			trs.V("I"),
+			trs.Compute("O|(x,(y,tok))", func(b trs.Binding) trs.Term {
+				h, _ := newHist(b).(trs.Seq)
+				return b.Bag("O").Add(outEntry(b.MustGet("x"), b.MustGet("y"), tokenMsg(h)))
+			}),
+			trs.V("W"),
+		),
+	}
+}

@@ -1,0 +1,168 @@
+package spec
+
+import "adaptivetoken/internal/trs"
+
+// NewSystemMP builds System Message-Passing (Figure 5). State:
+// (Q, P, T, I, O). The global history is gone; it travels inside token
+// messages. T is the holder or ⊥ while the token is in transit.
+//
+//	1   (Q|(x,d_x), −, −, −, −)            →  (Q|(x,d_x ⊕ new_x), −, −, −, −)
+//	2   (−, −, −, I, O|(x,(y,m)))          →  (−, −, −, I|(y,(x,m)), O)
+//	3   (Q|(x,d_x), P|(x,H), x, −, O)      →  (Q|(x,φ), P|(x,H⊕d_x), ⊥, −, O|(x,(y,H⊕d_x)))
+//	4   (−, P|(x,−), ⊥, I|(x,(y,H)), −)    →  (−, P|(x,H), x, I, −)
+//
+// With ring set, rule 3 is replaced by rule 3′, which fixes y = x⁺¹ — the
+// circular rotation the paper uses for its O(N) responsiveness guarantee
+// (Lemma 4). Ring rotation appends a circulation event c(x) to the history
+// so the later systems can compare histories with ⊂_C.
+func NewSystemMP(p Params, ring bool) trs.System {
+	name := "MessagePassing"
+	send := ruleMPSendFree(p)
+	if ring {
+		name = "MessagePassingRing"
+		send = ruleMPSendRing(p)
+	}
+	return trs.System{
+		Name: name,
+		Init: trs.NewTuple(labelMP,
+			initQ(p.N), initP(p.N), node(0), trs.EmptyBag(), trs.EmptyBag()),
+		Rules: []trs.Rule{
+			ruleNewDataDist(p, labelMP, 5),
+			transitRule(labelMP, []string{"Q", "P", "t"}, nil),
+			send,
+			ruleMPReceive(),
+		},
+	}
+}
+
+// ruleNewDataDist is rule 1 for the distributed systems: like ruleNewDataS
+// but the generation bound is computed from the histories scattered across
+// P, I and O. arity is the total field count; field order is
+// (Q, P, T, I, O[, W]).
+func ruleNewDataDist(p Params, label string, arity int) trs.Rule {
+	fields := []string{"P", "t", "I", "O", "W"}
+	lhs := []trs.Pattern{bagWith("Q", "x", "dx")}
+	rhs := []trs.Pattern{restPlusPair("Q", "x", func(b trs.Binding) trs.Term {
+		return b.Seq("dx").Append(dataEvent(b.Int("x")))
+	})}
+	for i := 0; i < arity-1; i++ {
+		lhs = append(lhs, trs.V(fields[i]))
+		rhs = append(rhs, trs.V(fields[i]))
+	}
+	return trs.Rule{
+		Name: "1",
+		LHS:  trs.LTup(label, lhs...),
+		RHS:  trs.LTup(label, rhs...),
+		Guard: func(b trs.Binding) bool {
+			if b.Seq("dx").Len() >= p.MaxPending {
+				return false
+			}
+			hist := distributedHistories(b.Bag("P"), b.Bag("I"), b.Bag("O"))
+			total := generated(b.Bag("Q"), hist) + b.Seq("dx").Len()
+			return total < p.MaxBroadcasts
+		},
+	}
+}
+
+// mpSendRHS builds rule 3/3′'s right-hand side: reset x's request, update
+// its prefix history, set T to ⊥, and emit the token message to dest.
+func mpSendRHS(newHist func(trs.Binding) trs.Seq, dest func(trs.Binding) trs.Term) []trs.Pattern {
+	return []trs.Pattern{
+		restPlusReset("Q", "x"),
+		restPlusPair("P", "px", func(b trs.Binding) trs.Term { return newHist(b) }),
+		trs.Lit(bottom),
+		trs.V("I"),
+		trs.Compute("O|(x,(y,tok))", func(b trs.Binding) trs.Term {
+			return b.Bag("O").Add(outEntry(b.MustGet("x"), dest(b), tokenMsg(newHist(b))))
+		}),
+	}
+}
+
+// mpSendLHS is the shared left-hand side of rules 3 and 3′ (for the
+// free-destination variant an extra Q member binds y).
+func mpSendLHS(bindY bool) []trs.Pattern {
+	qElems := []trs.Pattern{pairPat("x", "dx")}
+	if bindY {
+		qElems = append(qElems, pairPat("y", "dy"))
+	}
+	return []trs.Pattern{
+		trs.PBag{Elems: qElems, Rest: "Q"},
+		bagWith("P", "px", "H"),
+		trs.V("t"),
+		trs.V("I"),
+		trs.V("O"),
+	}
+}
+
+func mpSendGuard(b trs.Binding) bool {
+	return trs.Equal(b.MustGet("t"), b.MustGet("x")) &&
+		trs.Equal(b.MustGet("px"), b.MustGet("x"))
+}
+
+// ruleMPSendFree is rule 3: the holder broadcasts its pending data and
+// passes the token to an arbitrary other node y.
+func ruleMPSendFree(p Params) trs.Rule {
+	newHist := func(b trs.Binding) trs.Seq {
+		return appendSeq(b.Seq("H"), b.Seq("dx"))
+	}
+	rhs := mpSendRHS(newHist, func(b trs.Binding) trs.Term { return b.MustGet("y") })
+	// The free variant must put y's pair back into Q.
+	rhs[0] = trs.Compute("Q|(x,φ)|(y,dy)", func(b trs.Binding) trs.Term {
+		return b.Bag("Q").
+			Add(trs.Pair(b.MustGet("x"), trs.EmptySeq())).
+			Add(trs.Pair(b.MustGet("y"), b.MustGet("dy")))
+	})
+	return trs.Rule{
+		Name:  "3",
+		LHS:   trs.LTup(labelMP, mpSendLHS(true)...),
+		Guard: mpSendGuard,
+		RHS:   trs.LTup(labelMP, rhs...),
+	}
+}
+
+// ruleMPSendRing is rule 3′: like rule 3 but the destination is fixed to
+// the ring successor x⁺¹, and the hop is recorded as a circulation event.
+// Circulation events are bounded by MaxPasses.
+func ruleMPSendRing(p Params) trs.Rule {
+	newHist := func(b trs.Binding) trs.Seq {
+		return appendSeq(b.Seq("H"), b.Seq("dx")).Append(circEvent(b.Int("x")))
+	}
+	dest := func(b trs.Binding) trs.Term { return succ(b.Int("x"), 1, p.N) }
+	return trs.Rule{
+		Name: "3'",
+		LHS:  trs.LTup(labelMP, mpSendLHS(false)...),
+		Guard: func(b trs.Binding) bool {
+			if !mpSendGuard(b) {
+				return false
+			}
+			_, circ := countEvents(b.Seq("H"))
+			return circ < p.MaxPasses
+		},
+		RHS: trs.LTup(labelMP, mpSendRHS(newHist, dest)...),
+	}
+}
+
+// ruleMPReceive is rule 4: a node receives the token message, adopts its
+// history as the local prefix history, and becomes the holder.
+func ruleMPReceive() trs.Rule {
+	return trs.Rule{
+		Name: "4",
+		LHS: trs.LTup(labelMP,
+			trs.V("Q"),
+			bagWith("P", "x", "hx"),
+			trs.Lit(bottom),
+			trs.BagOf("I", trs.Tup(trs.V("rx"), trs.Tup(trs.V("y"), trs.LTup(labelToken, trs.V("H"))))),
+			trs.V("O"),
+		),
+		Guard: func(b trs.Binding) bool {
+			return trs.Equal(b.MustGet("rx"), b.MustGet("x"))
+		},
+		RHS: trs.LTup(labelMP,
+			trs.V("Q"),
+			restPlusPair("P", "x", func(b trs.Binding) trs.Term { return b.MustGet("H") }),
+			trs.V("x"),
+			trs.V("I"),
+			trs.V("O"),
+		),
+	}
+}

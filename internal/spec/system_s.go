@@ -1,0 +1,132 @@
+package spec
+
+import "adaptivetoken/internal/trs"
+
+// State labels distinguishing the systems' state tuples.
+const (
+	labelS    = "S"
+	labelS1   = "S1"
+	labelTok  = "Tok"
+	labelMP   = "MP"
+	labelSrch = "Srch"
+	labelBin  = "Bin"
+)
+
+// NewSystemS builds the paper's System S (Figure 2): the base abstract
+// protocol. State: (Q, H) with Q the multiset of (x, d_x) request pairs and
+// H the global broadcast history.
+//
+//	1  (Q|(x,d_x), −)  →  (Q|(x,d_x ⊕ new_x), −)
+//	2  (Q|(x,d_x), H)  →  (Q|(x,φ_x), H ⊕ d_x)
+//
+// Rule 2 resets the pair to the empty request rather than deleting it; see
+// the package comment.
+func NewSystemS(p Params) trs.System {
+	return trs.System{
+		Name: "S",
+		Init: trs.NewTuple(labelS, initQ(p.N), trs.EmptySeq()),
+		Rules: []trs.Rule{
+			ruleNewDataS(p, labelS, 2),
+			ruleBroadcastS(labelS),
+		},
+	}
+}
+
+// NewSystemS1 builds System S1 (Figure 3): System S plus local prefix
+// histories P. State: (Q, H, P).
+//
+//	1  (Q|(x,d_x), −, −)   →  (Q|(x,d_x ⊕ new_x), −, −)
+//	2  (Q|(x,d_x), H, −)   →  (Q|(x,φ_x), H ⊕ d_x, −)
+//	3  (−, H, P|(y,−))     →  (−, H, P|(y,H))
+func NewSystemS1(p Params) trs.System {
+	return trs.System{
+		Name: "S1",
+		Init: trs.NewTuple(labelS1, initQ(p.N), trs.EmptySeq(), initP(p.N)),
+		Rules: []trs.Rule{
+			ruleNewDataS(p, labelS1, 3),
+			ruleBroadcastS1(),
+			ruleCopyHistory(),
+		},
+	}
+}
+
+// ruleNewDataS is rule 1 shared by S, S1 and Token: a node decides to
+// broadcast and appends new_x to its pending data. Bounded by MaxPending
+// per node and MaxBroadcasts globally.
+//
+// arity is the total number of state-tuple fields; fields beyond (Q, ...)
+// pass through as variables f2, f3, ...
+func ruleNewDataS(p Params, label string, arity int) trs.Rule {
+	lhs := []trs.Pattern{bagWith("Q", "x", "dx")}
+	rhs := []trs.Pattern{restPlusPair("Q", "x", func(b trs.Binding) trs.Term {
+		x := b.Int("x")
+		return b.Seq("dx").Append(dataEvent(x))
+	})}
+	for i := 1; i < arity; i++ {
+		name := passThroughName(i)
+		lhs = append(lhs, trs.V(name))
+		rhs = append(rhs, trs.V(name))
+	}
+	return trs.Rule{
+		Name: "1",
+		LHS:  trs.LTup(label, lhs...),
+		RHS:  trs.LTup(label, rhs...),
+		Guard: func(b trs.Binding) bool {
+			if b.Seq("dx").Len() >= p.MaxPending {
+				return false
+			}
+			// Total generated so far: data events in H (field f1 for
+			// S/S1/Token) plus all pending queues.
+			h := b.Seq(passThroughName(1))
+			data, _ := countEvents(h)
+			total := data + pendingTotal(b.Bag("Q")) + b.Seq("dx").Len()
+			return total < p.MaxBroadcasts
+		},
+	}
+}
+
+func passThroughName(i int) string {
+	return "f" + string(rune('0'+i))
+}
+
+// ruleBroadcastS is System S rule 2: remove (reset) a pending request and
+// append its data to the global history.
+func ruleBroadcastS(label string) trs.Rule {
+	return trs.Rule{
+		Name: "2",
+		LHS:  trs.LTup(label, bagWith("Q", "x", "dx"), trs.V("H")),
+		RHS: trs.LTup(label,
+			restPlusReset("Q", "x"),
+			trs.Compute("H⊕dx", appendedHistory("H", "dx")),
+		),
+		Guard: func(b trs.Binding) bool { return b.Seq("dx").Len() > 0 },
+	}
+}
+
+// ruleBroadcastS1 is System S1 rule 2 (same as S, with P passing through).
+func ruleBroadcastS1() trs.Rule {
+	return trs.Rule{
+		Name: "2",
+		LHS:  trs.LTup(labelS1, bagWith("Q", "x", "dx"), trs.V("H"), trs.V("P")),
+		RHS: trs.LTup(labelS1,
+			restPlusReset("Q", "x"),
+			trs.Compute("H⊕dx", appendedHistory("H", "dx")),
+			trs.V("P"),
+		),
+		Guard: func(b trs.Binding) bool { return b.Seq("dx").Len() > 0 },
+	}
+}
+
+// ruleCopyHistory is System S1 rule 3: copy the global history into some
+// node's local prefix history, at any time.
+func ruleCopyHistory() trs.Rule {
+	return trs.Rule{
+		Name: "3",
+		LHS:  trs.LTup(labelS1, trs.V("Q"), trs.V("H"), bagWith("P", "y", "hy")),
+		RHS: trs.LTup(labelS1,
+			trs.V("Q"),
+			trs.V("H"),
+			restPlusPair("P", "y", func(b trs.Binding) trs.Term { return b.MustGet("H") }),
+		),
+	}
+}

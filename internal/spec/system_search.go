@@ -1,0 +1,232 @@
+package spec
+
+import "adaptivetoken/internal/trs"
+
+// NewSystemSearch builds System Search (Figure 6): non-deterministic token
+// search via "gimme" messages and traps. State: (Q, P, T, I, O, W).
+//
+//	1  new data                 (as Message-Passing)
+//	2  message transit          (as Message-Passing)
+//	3  receive token            (Message-Passing rule 4)
+//	4  broadcast & pass token   (Message-Passing rule 3′ — the Lemma 5
+//	                             restriction to ring order)
+//	5  (Q|(x,d_x), …, O, W)     →  set trap τ_x locally, send gimme to x⁺¹
+//	6  receive gimme for z      →  set trap τ_z locally, forward to x⁺¹
+//	7  holder with trap τ_y     →  send token to y, clear the trap
+//
+// The Lemma 5 restrictions are applied: search messages travel in ring
+// order (y = u = x⁺¹). Rule 5 is guarded by "x is ready and has no
+// outstanding search" (the §4.4 one-outstanding-request throttle), which
+// keeps the state space finite without affecting safety.
+func NewSystemSearch(p Params) trs.System {
+	return trs.System{
+		Name: "Search",
+		Init: trs.NewTuple(labelSrch,
+			initQ(p.N), initP(p.N), node(0),
+			trs.EmptyBag(), trs.EmptyBag(), trs.EmptyBag()),
+		Rules: []trs.Rule{
+			ruleNewDataDist(p, labelSrch, 6),
+			transitRule(labelSrch, []string{"Q", "P", "t"}, []string{"W"}),
+			ruleSearchReceiveToken(labelSrch),
+			ruleSearchPass(p, labelSrch),
+			ruleSearchInitiate(p),
+			ruleSearchForward(p),
+			ruleSearchDeliver(labelSrch, false),
+		},
+	}
+}
+
+// ruleSearchReceiveToken is rule 3 (Message-Passing rule 4 with the W field
+// passing through).
+func ruleSearchReceiveToken(label string) trs.Rule {
+	return trs.Rule{
+		Name: "3",
+		LHS: trs.LTup(label,
+			trs.V("Q"),
+			bagWith("P", "x", "hx"),
+			trs.Lit(bottom),
+			trs.BagOf("I", trs.Tup(trs.V("rx"), trs.Tup(trs.V("y"), trs.LTup(labelToken, trs.V("H"))))),
+			trs.V("O"),
+			trs.V("W"),
+		),
+		Guard: func(b trs.Binding) bool {
+			return trs.Equal(b.MustGet("rx"), b.MustGet("x"))
+		},
+		RHS: trs.LTup(label,
+			trs.V("Q"),
+			restPlusPair("P", "x", func(b trs.Binding) trs.Term { return b.MustGet("H") }),
+			trs.V("x"),
+			trs.V("I"),
+			trs.V("O"),
+			trs.V("W"),
+		),
+	}
+}
+
+// ruleSearchPass is rule 4: the holder appends its pending data plus a
+// circulation event and passes the token to its ring successor.
+func ruleSearchPass(p Params, label string) trs.Rule {
+	newHist := func(b trs.Binding) trs.Seq {
+		return appendSeq(b.Seq("H"), b.Seq("dx")).Append(circEvent(b.Int("x")))
+	}
+	return trs.Rule{
+		Name: "4",
+		LHS: trs.LTup(label,
+			bagWith("Q", "x", "dx"),
+			bagWith("P", "px", "H"),
+			trs.V("t"),
+			trs.V("I"),
+			trs.V("O"),
+			trs.V("W"),
+		),
+		Guard: func(b trs.Binding) bool {
+			if !mpSendGuard(b) {
+				return false
+			}
+			_, circ := countEvents(b.Seq("H"))
+			return circ < p.MaxPasses
+		},
+		RHS: trs.LTup(label,
+			restPlusReset("Q", "x"),
+			restPlusPair("P", "px", func(b trs.Binding) trs.Term { return newHist(b) }),
+			trs.Lit(bottom),
+			trs.V("I"),
+			trs.Compute("O|(x,(x+1,tok))", func(b trs.Binding) trs.Term {
+				dest := succ(b.Int("x"), 1, p.N)
+				return b.Bag("O").Add(outEntry(b.MustGet("x"), dest, tokenMsg(newHist(b))))
+			}),
+			trs.V("W"),
+		),
+	}
+}
+
+// ruleSearchInitiate is rule 5: a ready node x sets a trap for itself and
+// sends a gimme message to its ring successor (the Lemma 5 restriction).
+func ruleSearchInitiate(p Params) trs.Rule {
+	return trs.Rule{
+		Name: "5",
+		LHS: trs.LTup(labelSrch,
+			bagWith("Q", "x", "dx"),
+			bagWith("P", "px", "H"),
+			trs.V("t"),
+			trs.V("I"),
+			trs.V("O"),
+			trs.V("W"),
+		),
+		Guard: func(b trs.Binding) bool {
+			if !trs.Equal(b.MustGet("px"), b.MustGet("x")) {
+				return false
+			}
+			if b.Seq("dx").Len() == 0 {
+				return false // only ready nodes search
+			}
+			x := b.MustGet("x")
+			// One outstanding request per node (§4.4): no trap for x
+			// anywhere and no gimme for x in flight.
+			if hasTrapFor(b.Bag("W"), x) {
+				return false
+			}
+			return !hasSearchFor(b.Bag("I"), x) && !hasSearchFor(b.Bag("O"), x)
+		},
+		RHS: trs.LTup(labelSrch,
+			trs.Compute("Q|(x,dx)", func(b trs.Binding) trs.Term {
+				return b.Bag("Q").Add(trs.Pair(b.MustGet("x"), b.MustGet("dx")))
+			}),
+			trs.Compute("P|(x,H)", func(b trs.Binding) trs.Term {
+				return b.Bag("P").Add(trs.Pair(b.MustGet("px"), b.MustGet("H")))
+			}),
+			trs.V("t"),
+			trs.V("I"),
+			trs.Compute("O|(x,(x+1,gimme))", func(b trs.Binding) trs.Term {
+				x := b.Int("x")
+				msg := searchMsg(0, trs.EmptySeq(), b.MustGet("x"))
+				return b.Bag("O").Add(outEntry(b.MustGet("x"), succ(x, 1, p.N), msg))
+			}),
+			trs.Compute("W|(x,τx)", func(b trs.Binding) trs.Term {
+				x := b.MustGet("x")
+				return b.Bag("W").Add(trapAt(x, x))
+			}),
+		),
+	}
+}
+
+// ruleSearchForward is rule 6: on receiving a gimme for z, set a local trap
+// τ_z (if absent) and forward the gimme to the ring successor unless it has
+// come back around to z itself.
+func ruleSearchForward(p Params) trs.Rule {
+	return trs.Rule{
+		Name: "6",
+		LHS: trs.LTup(labelSrch,
+			trs.V("Q"),
+			trs.V("P"),
+			trs.V("t"),
+			trs.BagOf("I", trs.Tup(trs.V("x"), trs.Tup(trs.V("y"), trs.LTup(labelSearch, trs.V("n"), trs.V("Hz"), trs.V("z"))))),
+			trs.V("O"),
+			trs.V("W"),
+		),
+		RHS: trs.LTup(labelSrch,
+			trs.V("Q"),
+			trs.V("P"),
+			trs.V("t"),
+			trs.V("I"),
+			trs.Compute("O(+fwd)", func(b trs.Binding) trs.Term {
+				x := b.Int("x")
+				next := succ(x, 1, p.N)
+				if trs.Equal(trs.Term(next), b.MustGet("z")) {
+					// The gimme has traversed the whole ring; stop.
+					return b.MustGet("O")
+				}
+				msg := searchMsg(b.Int("n"), b.Seq("Hz"), b.MustGet("z"))
+				return b.Bag("O").Add(outEntry(b.MustGet("x"), next, msg))
+			}),
+			trs.Compute("W(+τz)", func(b trs.Binding) trs.Term {
+				w := b.Bag("W")
+				x, z := b.MustGet("x"), b.MustGet("z")
+				if trs.Equal(x, z) || hasTrap(w, x, z) {
+					return w
+				}
+				return w.Add(trapAt(x, z))
+			}),
+		),
+	}
+}
+
+// ruleSearchDeliver is rule 7: a holder with a pending trap sends the token
+// to the trapped requester and clears the trap. In System Search the token
+// is sent as a regular token message; System BinarySearch sends the
+// decorated (return-to-sender) variant instead.
+func ruleSearchDeliver(label string, decorated bool) trs.Rule {
+	payload := func(h trs.Seq) trs.Term {
+		if decorated {
+			return returnMsg(h)
+		}
+		return tokenMsg(h)
+	}
+	return trs.Rule{
+		Name: "7",
+		LHS: trs.LTup(label,
+			trs.V("Q"),
+			bagWith("P", "x", "H"),
+			trs.V("t"),
+			trs.V("I"),
+			trs.V("O"),
+			trs.BagOf("W", trs.Tup(trs.V("wx"), trs.LTup("τ", trs.V("y")))),
+		),
+		Guard: func(b trs.Binding) bool {
+			return trs.Equal(b.MustGet("t"), b.MustGet("x")) &&
+				trs.Equal(b.MustGet("wx"), b.MustGet("x"))
+		},
+		RHS: trs.LTup(label,
+			trs.V("Q"),
+			trs.Compute("P|(x,H)", func(b trs.Binding) trs.Term {
+				return b.Bag("P").Add(trs.Pair(b.MustGet("x"), b.MustGet("H")))
+			}),
+			trs.Lit(bottom),
+			trs.V("I"),
+			trs.Compute("O|(x,(y,tok/ret))", func(b trs.Binding) trs.Term {
+				return b.Bag("O").Add(outEntry(b.MustGet("x"), b.MustGet("y"), payload(b.Seq("H"))))
+			}),
+			trs.V("W"),
+		),
+	}
+}

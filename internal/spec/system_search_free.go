@@ -1,0 +1,156 @@
+package spec
+
+import "adaptivetoken/internal/trs"
+
+// NewSystemSearchFree builds System Search exactly as Figure 6 writes it:
+// with *free* destination choices. The token holder may send the token to
+// any other node (rule 4), a ready node may send its gimme to any other
+// node (rule 5), and a gimme may be forwarded to any other node (rule 6).
+// The paper: "the non-deterministic nature of the rules permits all kinds
+// of behaviors" — the restrictions of Lemma 5 (ring order, implemented by
+// NewSystemSearch) only carve out the efficient ones.
+//
+// Because nothing here follows ring order, no circulation events are
+// recorded; histories grow only with broadcasts, so the system is finite
+// without a MaxPasses bound. Destination nondeterminism is encoded by
+// matching a second distinguished member of Q or P, which ranges over
+// every *other* node (self-sends, which the paper's wildcard would permit
+// but which are vacuous, are excluded — a restriction, hence safe).
+func NewSystemSearchFree(p Params) trs.System {
+	return trs.System{
+		Name: "SearchFree",
+		Init: trs.NewTuple(labelSrch,
+			initQ(p.N), initP(p.N), node(0),
+			trs.EmptyBag(), trs.EmptyBag(), trs.EmptyBag()),
+		Rules: []trs.Rule{
+			ruleNewDataDist(p, labelSrch, 6),
+			transitRule(labelSrch, []string{"Q", "P", "t"}, []string{"W"}),
+			ruleSearchReceiveToken(labelSrch),
+			ruleSearchFreePass(),
+			ruleSearchFreeInitiate(),
+			ruleSearchFreeForward(),
+			ruleSearchDeliver(labelSrch, false),
+		},
+	}
+}
+
+// ruleSearchFreePass is Figure 6 rule 4 verbatim: the holder broadcasts and
+// passes the token to an arbitrary other node y.
+func ruleSearchFreePass() trs.Rule {
+	newHist := appendedHistory("H", "dx")
+	return trs.Rule{
+		Name: "4",
+		LHS: trs.LTup(labelSrch,
+			trs.PBag{Elems: []trs.Pattern{pairPat("x", "dx"), pairPat("y", "dy")}, Rest: "Q"},
+			bagWith("P", "px", "H"),
+			trs.V("t"),
+			trs.V("I"),
+			trs.V("O"),
+			trs.V("W"),
+		),
+		Guard: mpSendGuard,
+		RHS: trs.LTup(labelSrch,
+			trs.Compute("Q|(x,φ)|(y,dy)", func(b trs.Binding) trs.Term {
+				return b.Bag("Q").
+					Add(trs.Pair(b.MustGet("x"), trs.EmptySeq())).
+					Add(trs.Pair(b.MustGet("y"), b.MustGet("dy")))
+			}),
+			restPlusPair("P", "px", newHist),
+			trs.Lit(bottom),
+			trs.V("I"),
+			trs.Compute("O|(x,(y,tok))", func(b trs.Binding) trs.Term {
+				h, _ := newHist(b).(trs.Seq)
+				return b.Bag("O").Add(outEntry(b.MustGet("x"), b.MustGet("y"), tokenMsg(h)))
+			}),
+			trs.V("W"),
+		),
+	}
+}
+
+// ruleSearchFreeInitiate is Figure 6 rule 5 verbatim: a ready node traps
+// itself and sends a gimme to an arbitrary other node. The
+// one-outstanding-request guard keeps the state space finite, as in the
+// restricted system.
+func ruleSearchFreeInitiate() trs.Rule {
+	return trs.Rule{
+		Name: "5",
+		LHS: trs.LTup(labelSrch,
+			bagWith("Q", "x", "dx"),
+			trs.PBag{Elems: []trs.Pattern{pairPat("px", "H"), pairPat("y", "hy")}, Rest: "P"},
+			trs.V("t"),
+			trs.V("I"),
+			trs.V("O"),
+			trs.V("W"),
+		),
+		Guard: func(b trs.Binding) bool {
+			if !trs.Equal(b.MustGet("px"), b.MustGet("x")) {
+				return false
+			}
+			if b.Seq("dx").Len() == 0 {
+				return false
+			}
+			x := b.MustGet("x")
+			if hasTrapFor(b.Bag("W"), x) {
+				return false
+			}
+			return !hasSearchFor(b.Bag("I"), x) && !hasSearchFor(b.Bag("O"), x)
+		},
+		RHS: trs.LTup(labelSrch,
+			trs.BagOf("Q", pairPat("x", "dx")),
+			trs.BagOf("P", pairPat("px", "H"), pairPat("y", "hy")),
+			trs.V("t"),
+			trs.V("I"),
+			trs.Compute("O|(x,(y,gimme))", func(b trs.Binding) trs.Term {
+				msg := searchMsg(0, trs.EmptySeq(), b.MustGet("x"))
+				return b.Bag("O").Add(outEntry(b.MustGet("x"), b.MustGet("y"), msg))
+			}),
+			trs.Compute("W|(x,τx)", func(b trs.Binding) trs.Term {
+				x := b.MustGet("x")
+				return b.Bag("W").Add(trapAt(x, x))
+			}),
+		),
+	}
+}
+
+// ruleSearchFreeForward is Figure 6 rule 6 verbatim: on receiving a gimme
+// for z, trap locally and forward to an arbitrary other node u.
+func ruleSearchFreeForward() trs.Rule {
+	return trs.Rule{
+		Name: "6",
+		LHS: trs.LTup(labelSrch,
+			trs.V("Q"),
+			trs.PBag{Elems: []trs.Pattern{pairPat("x", "hx"), pairPat("u", "hu")}, Rest: "P"},
+			trs.V("t"),
+			trs.BagOf("I", trs.Tup(trs.V("rx"), trs.Tup(trs.V("y"), trs.LTup(labelSearch, trs.V("n"), trs.V("Hz"), trs.V("z"))))),
+			trs.V("O"),
+			trs.V("W"),
+		),
+		Guard: func(b trs.Binding) bool {
+			// The receiver x forwards; u ranges over the other nodes.
+			if !trs.Equal(b.MustGet("rx"), b.MustGet("x")) {
+				return false
+			}
+			// Forwarding back to the requester is vacuous; bound it
+			// out to keep the space small.
+			return !trs.Equal(b.MustGet("u"), b.MustGet("z"))
+		},
+		RHS: trs.LTup(labelSrch,
+			trs.V("Q"),
+			trs.BagOf("P", pairPat("x", "hx"), pairPat("u", "hu")),
+			trs.V("t"),
+			trs.V("I"),
+			trs.Compute("O|(x,(u,gimme))", func(b trs.Binding) trs.Term {
+				msg := searchMsg(b.Int("n"), b.Seq("Hz"), b.MustGet("z"))
+				return b.Bag("O").Add(outEntry(b.MustGet("x"), b.MustGet("u"), msg))
+			}),
+			trs.Compute("W(+τz)", func(b trs.Binding) trs.Term {
+				w := b.Bag("W")
+				x, z := b.MustGet("x"), b.MustGet("z")
+				if trs.Equal(x, z) || hasTrap(w, x, z) {
+					return w
+				}
+				return w.Add(trapAt(x, z))
+			}),
+		),
+	}
+}

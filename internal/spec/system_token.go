@@ -1,0 +1,57 @@
+package spec
+
+import "adaptivetoken/internal/trs"
+
+// NewSystemToken builds System Token (Figure 4): appends to the global
+// history are gated by token possession. State: (Q, H, P, T) where T names
+// the current token holder.
+//
+//	1  (Q|(x,d_x), −, −, −)        →  (Q|(x,d_x ⊕ new_x), −, −, −)
+//	2  (Q|(x,d_x), H, P|(x,−), x)  →  (Q|(x,φ_x), H ⊕ d_x, P|(x,H ⊕ d_x), y)
+//
+// Rule 2 combines S1's rules 2 and 3 and passes the token to an arbitrary
+// other node y (drawn here from the remaining Q entries, which contain
+// every other node).
+func NewSystemToken(p Params) trs.System {
+	return trs.System{
+		Name: "Token",
+		Init: trs.NewTuple(labelTok, initQ(p.N), trs.EmptySeq(), initP(p.N), node(0)),
+		Rules: []trs.Rule{
+			ruleNewDataS(p, labelTok, 4),
+			ruleTokenBroadcast(),
+		},
+	}
+}
+
+// ruleTokenBroadcast is System Token rule 2. The token holder x appends its
+// pending data to H, updates its own prefix history to the new H, and hands
+// the token to some other node y.
+func ruleTokenBroadcast() trs.Rule {
+	return trs.Rule{
+		Name: "2",
+		LHS: trs.LTup(labelTok,
+			trs.PBag{
+				Elems: []trs.Pattern{pairPat("x", "dx"), pairPat("y", "dy")},
+				Rest:  "Q",
+			},
+			trs.V("H"),
+			bagWith("P", "px", "hx"),
+			trs.V("t"),
+		),
+		Guard: func(b trs.Binding) bool {
+			// The token holder is x and the matched P entry is x's.
+			return trs.Equal(b.MustGet("t"), b.MustGet("x")) &&
+				trs.Equal(b.MustGet("px"), b.MustGet("x"))
+		},
+		RHS: trs.LTup(labelTok,
+			trs.Compute("Q|(x,φ)|(y,dy)", func(b trs.Binding) trs.Term {
+				return b.Bag("Q").
+					Add(trs.Pair(b.MustGet("x"), trs.EmptySeq())).
+					Add(trs.Pair(b.MustGet("y"), b.MustGet("dy")))
+			}),
+			trs.Compute("H⊕dx", appendedHistory("H", "dx")),
+			restPlusPair("P", "px", appendedHistory("H", "dx")),
+			trs.V("y"),
+		),
+	}
+}

@@ -1,0 +1,467 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"adaptivetoken/internal/trs"
+)
+
+func smallParams() Params {
+	return Params{N: 3, MaxBroadcasts: 2, MaxPending: 1, MaxPasses: 3}
+}
+
+// apps returns the applications of a system at a state, failing the test on
+// engine errors.
+func apps(t *testing.T, sys trs.System, state trs.Term) []trs.Application {
+	t.Helper()
+	out, err := trs.Applications(sys.Rules, state)
+	if err != nil {
+		t.Fatalf("%s applications: %v", sys.Name, err)
+	}
+	return out
+}
+
+// appsOf filters applications by rule name.
+func appsOf(as []trs.Application, name string) []trs.Application {
+	var out []trs.Application
+	for _, a := range as {
+		if a.Rule.Name == name {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func TestSystemSInitialRules(t *testing.T) {
+	sys := NewSystemS(smallParams())
+	as := apps(t, sys, sys.Init)
+	// Only rule 1 is enabled initially (one instance per node); rule 2
+	// needs pending data.
+	if len(appsOf(as, "1")) != 3 {
+		t.Errorf("rule 1 instances = %d, want 3", len(appsOf(as, "1")))
+	}
+	if len(appsOf(as, "2")) != 0 {
+		t.Error("rule 2 must be disabled with empty requests")
+	}
+}
+
+func TestSystemSBroadcastAppends(t *testing.T) {
+	sys := NewSystemS(smallParams())
+	as := apps(t, sys, sys.Init)
+	mid := as[0].Next // some node generated data
+	as2 := apps(t, sys, mid)
+	bcast := appsOf(as2, "2")
+	if len(bcast) != 1 {
+		t.Fatalf("rule 2 instances = %d, want 1", len(bcast))
+	}
+	h, err := seqField(bcast[0].Next, labelS, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 1 || !isData(h.At(0)) {
+		t.Errorf("global history after broadcast = %s", h)
+	}
+	// The broadcaster's pending queue was reset.
+	q, err := bagField(bcast[0].Next, labelS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pendingTotal(q) != 0 {
+		t.Errorf("pending after broadcast = %d", pendingTotal(q))
+	}
+}
+
+func TestSystemSRespectsMaxBroadcasts(t *testing.T) {
+	p := Params{N: 2, MaxBroadcasts: 1, MaxPending: 1, MaxPasses: 1}
+	sys := NewSystemS(p)
+	as := apps(t, sys, sys.Init)
+	if len(appsOf(as, "1")) != 2 {
+		t.Fatalf("rule 1 at init: %d", len(appsOf(as, "1")))
+	}
+	mid := appsOf(as, "1")[0].Next
+	as2 := apps(t, sys, mid)
+	// Budget exhausted: no more rule 1.
+	if len(appsOf(as2, "1")) != 0 {
+		t.Error("rule 1 must respect MaxBroadcasts")
+	}
+}
+
+func TestSystemSRespectsMaxPending(t *testing.T) {
+	p := Params{N: 2, MaxBroadcasts: 5, MaxPending: 1, MaxPasses: 1}
+	sys := NewSystemS(p)
+	mid := appsOf(apps(t, sys, sys.Init), "1")[0].Next
+	as := apps(t, sys, mid)
+	// The node that already has one pending item cannot add another;
+	// the other node still can.
+	if got := len(appsOf(as, "1")); got != 1 {
+		t.Errorf("rule 1 instances = %d, want 1", got)
+	}
+}
+
+func TestSystemS1CopyRule(t *testing.T) {
+	sys := NewSystemS1(smallParams())
+	as := apps(t, sys, sys.Init)
+	copies := appsOf(as, "3")
+	if len(copies) != 3 {
+		t.Fatalf("rule 3 instances = %d, want 3", len(copies))
+	}
+	// Copying the empty history is an identity.
+	if trs.Key(copies[0].Next) != trs.Key(sys.Init) {
+		t.Error("copying empty H should be a no-op")
+	}
+}
+
+func TestSystemTokenMovesToken(t *testing.T) {
+	sys := NewSystemToken(smallParams())
+	as := apps(t, sys, sys.Init)
+	moves := appsOf(as, "2")
+	// Holder 0 can pass to either of the two other nodes.
+	if len(moves) != 2 {
+		t.Fatalf("rule 2 instances = %d, want 2", len(moves))
+	}
+	dests := map[string]bool{}
+	for _, m := range moves {
+		holder, err := stateField(m.Next, labelTok, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dests[holder.String()] = true
+		if holder.String() == "0" {
+			t.Error("token must move to another node")
+		}
+	}
+	if len(dests) != 2 {
+		t.Errorf("destinations = %v", dests)
+	}
+}
+
+func TestSystemTokenBroadcastUpdatesLocalHistory(t *testing.T) {
+	sys := NewSystemToken(smallParams())
+	// Find node 0 generating data, then broadcasting.
+	var withData trs.Term
+	for _, a := range appsOf(apps(t, sys, sys.Init), "1") {
+		q, _ := bagField(a.Next, labelTok, 0)
+		for i := 0; i < q.Len(); i++ {
+			pair := q.At(i).(trs.Tuple)
+			if pair.At(0).String() == "0" && pair.At(1).(trs.Seq).Len() > 0 {
+				withData = a.Next
+			}
+		}
+	}
+	if withData == nil {
+		t.Fatal("no state with node 0 ready")
+	}
+	for _, m := range appsOf(apps(t, sys, withData), "2") {
+		h, _ := seqField(m.Next, labelTok, 1)
+		p, _ := bagField(m.Next, labelTok, 2)
+		if h.Len() != 1 {
+			t.Errorf("H after broadcast = %s", h)
+		}
+		// Node 0's local history equals the new H (rule 2 combines
+		// S1's rules 2 and 3).
+		for i := 0; i < p.Len(); i++ {
+			pair := p.At(i).(trs.Tuple)
+			if pair.At(0).String() == "0" && !trs.Equal(pair.At(1), h) {
+				t.Errorf("P(0) = %s, want %s", pair.At(1), h)
+			}
+		}
+	}
+}
+
+func TestSystemMPRingRotation(t *testing.T) {
+	p := smallParams()
+	sys := NewSystemMP(p, true)
+	as := apps(t, sys, sys.Init)
+	sends := appsOf(as, "3'")
+	if len(sends) != 1 {
+		t.Fatalf("rule 3' instances = %d, want 1", len(sends))
+	}
+	afterSend := sends[0].Next
+	// Token is now in transit.
+	holder, _ := stateField(afterSend, labelMP, 2)
+	if !trs.Equal(holder, bottom) {
+		t.Errorf("holder = %s, want ⊥", holder)
+	}
+	// Deliver the message, then receive: holder must be node 1 (the ring
+	// successor), never node 2.
+	deliver := appsOf(apps(t, sys, afterSend), "2")
+	if len(deliver) != 1 {
+		t.Fatalf("transit instances = %d", len(deliver))
+	}
+	recv := appsOf(apps(t, sys, deliver[0].Next), "4")
+	if len(recv) != 1 {
+		t.Fatalf("receive instances = %d", len(recv))
+	}
+	holder2, _ := stateField(recv[0].Next, labelMP, 2)
+	if holder2.String() != "1" {
+		t.Errorf("after one hop holder = %s, want 1", holder2)
+	}
+}
+
+func TestSystemMPFreeChoosesAnyNode(t *testing.T) {
+	sys := NewSystemMP(smallParams(), false)
+	sends := appsOf(apps(t, sys, sys.Init), "3")
+	if len(sends) != 2 {
+		t.Fatalf("rule 3 instances = %d, want 2 (any other node)", len(sends))
+	}
+}
+
+func TestSystemMPCirculationRecorded(t *testing.T) {
+	p := smallParams()
+	sys := NewSystemMP(p, true)
+	state := sys.Init
+	// One full hop: send, transit, receive.
+	for _, rule := range []string{"3'", "2", "4"} {
+		matches := appsOf(apps(t, sys, state), rule)
+		if len(matches) == 0 {
+			t.Fatalf("rule %s not enabled", rule)
+		}
+		state = matches[0].Next
+	}
+	pBag, _ := bagField(state, labelMP, 1)
+	hs := historiesInBag(pBag)
+	_, circ := countEvents(longestSeq(hs))
+	if circ != 1 {
+		t.Errorf("circulation events after one hop = %d, want 1", circ)
+	}
+}
+
+func TestSearchInitiateRequiresReadiness(t *testing.T) {
+	sys := NewSystemSearch(smallParams())
+	if len(appsOf(apps(t, sys, sys.Init), "5")) != 0 {
+		t.Error("rule 5 must be disabled with no pending data")
+	}
+	// After a node becomes ready, it may search.
+	ready := appsOf(apps(t, sys, sys.Init), "1")[0].Next
+	if len(appsOf(apps(t, sys, ready), "5")) == 0 {
+		t.Error("rule 5 should be enabled for a ready node")
+	}
+}
+
+func TestSearchOneOutstandingRequest(t *testing.T) {
+	sys := NewSystemSearch(smallParams())
+	ready := appsOf(apps(t, sys, sys.Init), "1")[0].Next
+	searched := appsOf(apps(t, sys, ready), "5")[0].Next
+	// The same node cannot initiate a second search while the first is
+	// outstanding.
+	for _, a := range appsOf(apps(t, sys, searched), "5") {
+		t.Errorf("unexpected second search: %s", a.Rule.Name)
+	}
+	// The trap τ_x is set locally.
+	w, _ := bagField(searched, labelSrch, 5)
+	if w.Len() != 1 {
+		t.Errorf("W = %s", w)
+	}
+}
+
+func TestSearchDeliverToTrap(t *testing.T) {
+	p := smallParams()
+	sys := NewSystemSearch(p)
+	// Hand-build: node 0 holds token, node 2 has a trap at node 0.
+	state := trs.NewTuple(labelSrch,
+		initQ(p.N), initP(p.N), node(0),
+		trs.EmptyBag(), trs.EmptyBag(),
+		trs.NewBag(trapAt(node(0), node(2))))
+	delivered := appsOf(apps(t, sys, state), "7")
+	if len(delivered) != 1 {
+		t.Fatalf("rule 7 instances = %d, want 1", len(delivered))
+	}
+	next := delivered[0].Next
+	holder, _ := stateField(next, labelSrch, 2)
+	if !trs.Equal(holder, bottom) {
+		t.Error("token should be in transit after delivery")
+	}
+	w, _ := bagField(next, labelSrch, 5)
+	if w.Len() != 0 {
+		t.Error("trap must be cleared")
+	}
+	o, _ := bagField(next, labelSrch, 4)
+	if o.Len() != 1 {
+		t.Fatalf("O = %s", o)
+	}
+	entry := o.At(0).(trs.Tuple)
+	dest := entry.At(1).(trs.Tuple).At(0)
+	if dest.String() != "2" {
+		t.Errorf("token sent to %s, want 2", dest)
+	}
+}
+
+func TestBinInitiateGoesAcrossRing(t *testing.T) {
+	p := Params{N: 8, MaxBroadcasts: 2, MaxPending: 1, MaxPasses: 3}
+	sys := NewSystemBinarySearch(p)
+	// Make node 0 ready by hand.
+	q := initQ(p.N)
+	// Replace (0, φ) with (0, ⟨d(0)⟩): rebuild.
+	elems := q.Elems()
+	for i, e := range elems {
+		pair := e.(trs.Tuple)
+		if pair.At(0).String() == "0" {
+			elems[i] = trs.Pair(pair.At(0), trs.NewSeq(dataEvent(0)))
+		}
+	}
+	state := trs.NewTuple(labelBin,
+		trs.NewBag(elems...), initP(p.N), node(3),
+		trs.EmptyBag(), trs.EmptyBag(), trs.EmptyBag())
+	inits := appsOf(apps(t, sys, state), "5")
+	if len(inits) != 1 {
+		t.Fatalf("rule 5 instances = %d, want 1", len(inits))
+	}
+	o, _ := bagField(inits[0].Next, labelBin, 4)
+	entry := o.At(0).(trs.Tuple)
+	dest := entry.At(1).(trs.Tuple).At(0)
+	if dest.String() != "4" {
+		t.Errorf("gimme sent to %s, want 4 (= 0 + 8/2)", dest)
+	}
+	payload := entry.At(1).(trs.Tuple).At(1).(trs.Tuple)
+	if payload.Label() != labelSearch || payload.At(0).String() != "4" {
+		t.Errorf("payload = %s, want window 4", payload)
+	}
+}
+
+// binForwardState builds a Bin state where node x has history hx and a
+// gimme (window n, history hz, requester z) is waiting in x's input.
+func binForwardState(p Params, x int, hx trs.Seq, n int, hz trs.Seq, z int) trs.Term {
+	pBag := initP(p.N).Elems()
+	for i, e := range pBag {
+		pair := e.(trs.Tuple)
+		if pair.At(0).String() == node(x).String() {
+			pBag[i] = trs.Pair(pair.At(0), hx)
+		}
+	}
+	in := trs.NewBag(trs.Pair(node(x), trs.Pair(node(z), searchMsg(trs.Int(int64(n)), hz, node(z)))))
+	return trs.NewTuple(labelBin,
+		initQ(p.N), trs.NewBag(pBag...), node((x+1)%p.N),
+		in, trs.EmptyBag(), trs.EmptyBag())
+}
+
+func TestBinForwardDirection(t *testing.T) {
+	p := Params{N: 8, MaxBroadcasts: 4, MaxPending: 1, MaxPasses: 8}
+	sys := NewSystemBinarySearch(p)
+
+	// Case (b) of Figure 8: x's history is a strict ⊂_C prefix of the
+	// requester's — the token passed the requester after x; search goes
+	// counter-clockwise (x^{-n/2}).
+	hx := trs.NewSeq(circEvent(0))
+	hz := trs.NewSeq(circEvent(0), circEvent(1))
+	state := binForwardState(p, 4, hx, 4, hz, 0)
+	fwds := appsOf(apps(t, sys, state), "6")
+	if len(fwds) != 1 {
+		t.Fatalf("rule 6 instances = %d", len(fwds))
+	}
+	o, _ := bagField(fwds[0].Next, labelBin, 4)
+	dest := o.At(0).(trs.Tuple).At(1).(trs.Tuple).At(0)
+	if dest.String() != "2" {
+		t.Errorf("forward dest = %s, want 2 (= 4 − 4/2)", dest)
+	}
+
+	// Case (a): the requester's history is a prefix of x's — search
+	// continues clockwise (x^{+n/2}).
+	state = binForwardState(p, 4, hz, 4, hx, 0)
+	fwds = appsOf(apps(t, sys, state), "6")
+	o, _ = bagField(fwds[0].Next, labelBin, 4)
+	dest = o.At(0).(trs.Tuple).At(1).(trs.Tuple).At(0)
+	if dest.String() != "6" {
+		t.Errorf("forward dest = %s, want 6 (= 4 + 4/2)", dest)
+	}
+
+	// Window halves in the forwarded message.
+	payload := o.At(0).(trs.Tuple).At(1).(trs.Tuple).At(1).(trs.Tuple)
+	if payload.At(0).String() != "2" {
+		t.Errorf("forwarded window = %s, want 2", payload.At(0))
+	}
+
+	// The trap τ_z is set at x.
+	w, _ := bagField(fwds[0].Next, labelBin, 5)
+	if !hasTrap(w, node(4), node(0)) {
+		t.Error("forwarder must set trap")
+	}
+}
+
+func TestBinForwardExpiresBelowWindow2(t *testing.T) {
+	p := Params{N: 8, MaxBroadcasts: 4, MaxPending: 1, MaxPasses: 8}
+	sys := NewSystemBinarySearch(p)
+	state := binForwardState(p, 4, trs.EmptySeq(), 1, trs.EmptySeq(), 0)
+	fwds := appsOf(apps(t, sys, state), "6")
+	if len(fwds) != 1 {
+		t.Fatalf("rule 6 instances = %d", len(fwds))
+	}
+	o, _ := bagField(fwds[0].Next, labelBin, 4)
+	if o.Len() != 0 {
+		t.Errorf("expired search must not forward: O = %s", o)
+	}
+	w, _ := bagField(fwds[0].Next, labelBin, 5)
+	if !hasTrap(w, node(4), node(0)) {
+		t.Error("expired search still sets the trap")
+	}
+}
+
+func TestBinDecoratedDeliveryAndReturn(t *testing.T) {
+	p := smallParams()
+	sys := NewSystemBinarySearch(p)
+	// Node 0 holds the token with a trap for node 2; node 2 is ready.
+	q := initQ(p.N).Elems()
+	for i, e := range q {
+		pair := e.(trs.Tuple)
+		if pair.At(0).String() == "2" {
+			q[i] = trs.Pair(pair.At(0), trs.NewSeq(dataEvent(2)))
+		}
+	}
+	state := trs.NewTuple(labelBin,
+		trs.NewBag(q...), initP(p.N), node(0),
+		trs.EmptyBag(), trs.EmptyBag(), trs.NewBag(trapAt(node(0), node(2))))
+
+	// Rule 7 sends a decorated token.
+	del := appsOf(apps(t, sys, state), "7")
+	if len(del) != 1 {
+		t.Fatalf("rule 7 instances = %d", len(del))
+	}
+	afterDeliver := del[0].Next
+	o, _ := bagField(afterDeliver, labelBin, 4)
+	payload := o.At(0).(trs.Tuple).At(1).(trs.Tuple).At(1).(trs.Tuple)
+	if payload.Label() != labelReturn {
+		t.Fatalf("payload = %s, want decorated token", payload)
+	}
+
+	// Transit, then rule 8: node 2 appends its datum and returns a
+	// regular token to node 0.
+	afterTransit := appsOf(apps(t, sys, afterDeliver), "2")[0].Next
+	use := appsOf(apps(t, sys, afterTransit), "8")
+	if len(use) != 1 {
+		t.Fatalf("rule 8 instances = %d", len(use))
+	}
+	afterUse := use[0].Next
+	o2, _ := bagField(afterUse, labelBin, 4)
+	if o2.Len() != 1 {
+		t.Fatalf("O after use = %s", o2)
+	}
+	ret := o2.At(0).(trs.Tuple)
+	if ret.At(1).(trs.Tuple).At(0).String() != "0" {
+		t.Errorf("token returned to %s, want 0", ret.At(1).(trs.Tuple).At(0))
+	}
+	retPayload := ret.At(1).(trs.Tuple).At(1).(trs.Tuple)
+	if retPayload.Label() != labelToken {
+		t.Errorf("returned payload = %s, want regular token", retPayload)
+	}
+	h := retPayload.At(0).(trs.Seq)
+	if d, _ := countEvents(h); d != 1 {
+		t.Errorf("returned history has %d data events, want 1", d)
+	}
+	// Holder stays ⊥ throughout the decorated exchange.
+	holder, _ := stateField(afterUse, labelBin, 2)
+	if !trs.Equal(holder, bottom) {
+		t.Errorf("holder = %s, want ⊥", holder)
+	}
+}
+
+func TestFormatAllSystems(t *testing.T) {
+	for _, sc := range AllSystems(smallParams()) {
+		out := trs.FormatRules(sc.System)
+		if !strings.Contains(out, sc.System.Name) {
+			t.Errorf("format output missing system name %s", sc.System.Name)
+		}
+		if len(sc.System.Rules) < 2 {
+			t.Errorf("%s has %d rules", sc.System.Name, len(sc.System.Rules))
+		}
+	}
+}

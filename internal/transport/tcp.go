@@ -1,0 +1,227 @@
+package transport
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCP is an Endpoint over real sockets: one listener per node, lazily
+// dialed persistent connections to peers, JSON-framed envelopes (one JSON
+// document per message). Suitable for the live demos (cmd/ringnode) and
+// loopback integration tests.
+type TCP struct {
+	id    int
+	addrs []string
+	ln    net.Listener
+
+	mu      sync.Mutex
+	conns   map[int]*peerConn
+	inbound map[net.Conn]struct{}
+	closed  bool
+
+	mbox *mailbox
+	wg   sync.WaitGroup
+}
+
+type peerConn struct {
+	conn net.Conn
+	enc  *json.Encoder
+}
+
+var _ Endpoint = (*TCP)(nil)
+
+// NewTCP creates the endpoint for node id, listening on addrs[id]. The
+// addrs slice maps every ring position to its host:port.
+func NewTCP(id int, addrs []string) (*TCP, error) {
+	if id < 0 || id >= len(addrs) {
+		return nil, fmt.Errorf("transport: id %d outside address list of %d", id, len(addrs))
+	}
+	ln, err := net.Listen("tcp", addrs[id])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addrs[id], err)
+	}
+	t := &TCP{
+		id:      id,
+		addrs:   append([]string(nil), addrs...),
+		ln:      ln,
+		conns:   make(map[int]*peerConn),
+		inbound: make(map[net.Conn]struct{}),
+		mbox:    newMailbox(),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the listener's actual address (useful with ":0" ports).
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// SetPeerAddr updates the address of peer id — needed when peers bind ":0"
+// ports and exchange their real addresses after startup.
+func (t *TCP) SetPeerAddr(id int, addr string) error {
+	if id < 0 || id >= len(t.addrs) {
+		return fmt.Errorf("transport: peer %d outside address list of %d", id, len(t.addrs))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addrs[id] = addr
+	if pc, ok := t.conns[id]; ok {
+		pc.conn.Close()
+		delete(t.conns, id)
+	}
+	return nil
+}
+
+// ID implements Endpoint.
+func (t *TCP) ID() int { return t.id }
+
+// Recv implements Endpoint.
+func (t *TCP) Recv() <-chan Envelope { return t.mbox.out }
+
+// Send implements Endpoint. It dials the peer lazily and retries once on a
+// stale connection.
+func (t *TCP) Send(e Envelope) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	e.From = t.id
+	if e.To == t.id {
+		if !t.mbox.put(e) {
+			return errors.New("transport: endpoint closed")
+		}
+		return nil
+	}
+	if err := t.sendOnce(e); err != nil {
+		// The connection may have gone stale; reset and retry once.
+		t.dropConn(e.To)
+		return t.sendOnce(e)
+	}
+	return nil
+}
+
+func (t *TCP) sendOnce(e Envelope) error {
+	pc, err := t.peer(e.To)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conns[e.To] != pc {
+		return errors.New("transport: connection replaced")
+	}
+	return pc.enc.Encode(e)
+}
+
+// peer returns (dialing if needed) the connection to node id.
+func (t *TCP) peer(id int) (*peerConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, errors.New("transport: endpoint closed")
+	}
+	if pc, ok := t.conns[id]; ok {
+		t.mu.Unlock()
+		return pc, nil
+	}
+	addr := t.addrs[id]
+	t.mu.Unlock()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial node %d at %s: %w", id, addr, err)
+	}
+	pc := &peerConn{conn: conn, enc: json.NewEncoder(conn)}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		conn.Close()
+		return nil, errors.New("transport: endpoint closed")
+	}
+	if existing, ok := t.conns[id]; ok {
+		conn.Close() // lost the race; reuse the winner
+		return existing, nil
+	}
+	t.conns[id] = pc
+	return pc, nil
+}
+
+func (t *TCP) dropConn(id int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if pc, ok := t.conns[id]; ok {
+		pc.conn.Close()
+		delete(t.conns, id)
+	}
+}
+
+// acceptLoop accepts peer connections and spawns a reader per connection.
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.wg.Add(1)
+		t.mu.Unlock()
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop decodes envelopes off one connection into the mailbox.
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+	}()
+	dec := json.NewDecoder(conn)
+	for {
+		var e Envelope
+		if err := dec.Decode(&e); err != nil {
+			return
+		}
+		if e.Validate() != nil {
+			continue // malformed peer traffic: ignore
+		}
+		if !t.mbox.put(e) {
+			return
+		}
+	}
+}
+
+// Close implements Endpoint: it stops the listener, tears down peer
+// connections, waits for reader goroutines, and closes the inbox.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for id, pc := range t.conns {
+		pc.conn.Close()
+		delete(t.conns, id)
+	}
+	for conn := range t.inbound {
+		conn.Close()
+	}
+	t.mu.Unlock()
+	err := t.ln.Close()
+	t.wg.Wait()
+	t.mbox.close()
+	return err
+}

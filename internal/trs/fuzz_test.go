@@ -1,0 +1,71 @@
+package trs
+
+import "testing"
+
+// FuzzKeyInjective decodes two terms from fuzz bytes and checks that the
+// canonical Key is injective: equal keys imply Equal terms. Run open-ended
+// with `go test -fuzz=FuzzKeyInjective ./internal/trs`.
+func FuzzKeyInjective(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{4, 5, 6})
+	f.Add([]byte("ab"), []byte("a\x00b"))
+	f.Add([]byte{}, []byte{0})
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9}, []byte{9, 9, 9, 9})
+
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		ta := decodeTerm(a)
+		tb := decodeTerm(b)
+		if (Key(ta) == Key(tb)) != Equal(ta, tb) {
+			t.Fatalf("Key injectivity broken:\n%s (key %q)\n%s (key %q)",
+				ta, Key(ta), tb, Key(tb))
+		}
+		// Compare must stay antisymmetric and consistent with Equal.
+		if Compare(ta, tb) == 0 != Equal(ta, tb) {
+			t.Fatalf("Compare/Equal disagree for %s vs %s", ta, tb)
+		}
+		if c1, c2 := Compare(ta, tb), Compare(tb, ta); c1 != -c2 && !(c1 == 0 && c2 == 0) {
+			t.Fatalf("Compare not antisymmetric: %d vs %d", c1, c2)
+		}
+	})
+}
+
+// decodeTerm builds a deterministic term from a byte string: a tiny
+// stack-machine interpretation so fuzzing explores nested shapes.
+func decodeTerm(data []byte) Term {
+	var stack []Term
+	pop2 := func() (Term, Term) {
+		a, b := Term(Atom("x")), Term(Atom("y"))
+		if len(stack) > 0 {
+			a = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 {
+			b = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+		}
+		return a, b
+	}
+	for _, c := range data {
+		switch c % 6 {
+		case 0:
+			stack = append(stack, Atom(string(rune('a'+c%7))))
+		case 1:
+			stack = append(stack, Int(int64(c)))
+		case 2:
+			a, b := pop2()
+			stack = append(stack, Pair(a, b))
+		case 3:
+			a, b := pop2()
+			stack = append(stack, NewBag(a, b))
+		case 4:
+			a, b := pop2()
+			stack = append(stack, NewSeq(a, b))
+		case 5:
+			a, b := pop2()
+			stack = append(stack, NewTuple(string(rune('p'+c%3)), a, b))
+		}
+	}
+	if len(stack) == 0 {
+		return Atom("ε")
+	}
+	return NewSeq(stack...)
+}

@@ -1,0 +1,283 @@
+package trs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMatchVarBindsAnything(t *testing.T) {
+	b, ok := MatchFirst(V("x"), NewBag(Atom("a")))
+	if !ok {
+		t.Fatal("var should match")
+	}
+	if got := b.MustGet("x"); !Equal(got, NewBag(Atom("a"))) {
+		t.Fatalf("bound %v", got)
+	}
+}
+
+func TestMatchNonLinear(t *testing.T) {
+	p := Tup(V("x"), V("x"))
+	if !Matches(p, Pair(Atom("a"), Atom("a"))) {
+		t.Error("non-linear pattern should match equal elements")
+	}
+	if Matches(p, Pair(Atom("a"), Atom("b"))) {
+		t.Error("non-linear pattern must not match unequal elements")
+	}
+}
+
+func TestMatchWildcard(t *testing.T) {
+	p := Tup(W(), V("y"))
+	b, ok := MatchFirst(p, Pair(Atom("a"), Int(7)))
+	if !ok {
+		t.Fatal("should match")
+	}
+	if _, bound := b.Get("_"); bound {
+		t.Error("wildcard must not bind")
+	}
+	if b.Int("y") != 7 {
+		t.Errorf("y = %v", b.MustGet("y"))
+	}
+}
+
+func TestMatchLiteralAndLabel(t *testing.T) {
+	if !Matches(A("τ"), Atom("τ")) {
+		t.Error("atom literal should match itself")
+	}
+	if Matches(A("τ"), Atom("φ")) {
+		t.Error("atom literal must not match other atoms")
+	}
+	if Matches(LTup("trap", V("x")), NewTuple("data", Atom("x"))) {
+		t.Error("label mismatch must not match")
+	}
+	if !Matches(N(4), Int(4)) || Matches(N(4), Int(5)) {
+		t.Error("int literal matching broken")
+	}
+}
+
+func TestMatchTupleArity(t *testing.T) {
+	if Matches(Tup(V("a")), Pair(Atom("x"), Atom("y"))) {
+		t.Error("arity mismatch must not match")
+	}
+}
+
+func TestMatchBagPicksEachMember(t *testing.T) {
+	bag := NewBag(Pair(Atom("p0"), Atom("d0")), Pair(Atom("p1"), Atom("d1")), Pair(Atom("p2"), Atom("d2")))
+	p := BagOf("Q", Tup(V("x"), V("d")))
+	all := MatchAll(p, bag)
+	if len(all) != 3 {
+		t.Fatalf("got %d matches, want 3", len(all))
+	}
+	seen := map[Atom]bool{}
+	for _, b := range all {
+		seen[b.Atom("x")] = true
+		rest := b.Bag("Q")
+		if rest.Len() != 2 {
+			t.Errorf("rest should have 2 members, got %d", rest.Len())
+		}
+	}
+	if len(seen) != 3 {
+		t.Errorf("expected each member selected once, got %v", seen)
+	}
+}
+
+func TestMatchBagTwoDistinguished(t *testing.T) {
+	bag := NewBag(Atom("a"), Atom("b"))
+	p := BagOf("R", V("x"), V("y"))
+	all := MatchAll(p, bag)
+	// (x=a,y=b) and (x=b,y=a).
+	if len(all) != 2 {
+		t.Fatalf("got %d matches, want 2", len(all))
+	}
+	for _, b := range all {
+		if b.Bag("R").Len() != 0 {
+			t.Error("rest should be empty")
+		}
+		if b.Atom("x") == b.Atom("y") {
+			t.Error("distinguished members must be distinct bag elements")
+		}
+	}
+}
+
+func TestMatchBagExact(t *testing.T) {
+	p := BagOf("", V("x"))
+	if Matches(p, NewBag(Atom("a"), Atom("b"))) {
+		t.Error("exact bag pattern must not match larger bag")
+	}
+	if !Matches(p, NewBag(Atom("a"))) {
+		t.Error("exact bag pattern should match singleton")
+	}
+	if Matches(BagOf("R", V("x")), EmptyBag()) {
+		t.Error("cannot pick a member from empty bag")
+	}
+}
+
+func TestMatchSeq(t *testing.T) {
+	s := NewSeq(Atom("a"), Atom("b"), Atom("c"))
+	p := PSeq{Elems: []Pattern{V("h")}, Rest: "T"}
+	b, ok := MatchFirst(p, s)
+	if !ok {
+		t.Fatal("prefix seq should match")
+	}
+	if b.Atom("h") != "a" {
+		t.Errorf("h = %v", b.MustGet("h"))
+	}
+	if got := b.Seq("T"); !Equal(got, NewSeq(Atom("b"), Atom("c"))) {
+		t.Errorf("T = %s", got)
+	}
+	exact := PSeq{Elems: []Pattern{V("a"), V("b"), V("c")}}
+	if !Matches(exact, s) {
+		t.Error("exact seq should match")
+	}
+	if Matches(PSeq{Elems: []Pattern{V("a")}}, s) {
+		t.Error("exact shorter seq must not match")
+	}
+}
+
+func TestMatchComputeNeverMatches(t *testing.T) {
+	p := Compute("k", func(Binding) Term { return Atom("x") })
+	if Matches(p, Atom("x")) {
+		t.Error("PCompute must not match")
+	}
+}
+
+func TestMatchEarlyStop(t *testing.T) {
+	bag := NewBag(Atom("a"), Atom("b"), Atom("c"))
+	count := 0
+	Match(BagOf("R", V("x")), bag, EmptyBinding(), func(Binding) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("enumeration did not stop early: %d", count)
+	}
+}
+
+// termToPattern converts a ground term into a literal-equivalent pattern.
+func termToPattern(t Term) Pattern {
+	switch x := t.(type) {
+	case Tuple:
+		elems := make([]Pattern, x.Len())
+		for i := range elems {
+			elems[i] = termToPattern(x.At(i))
+		}
+		return PTuple{Label: x.Label(), Elems: elems}
+	case Bag:
+		elems := make([]Pattern, x.Len())
+		for i := range elems {
+			elems[i] = termToPattern(x.At(i))
+		}
+		return PBag{Elems: elems}
+	case Seq:
+		elems := make([]Pattern, x.Len())
+		for i := range elems {
+			elems[i] = termToPattern(x.At(i))
+		}
+		return PSeq{Elems: elems}
+	default:
+		return PLit{Value: t}
+	}
+}
+
+func TestQuickTermMatchesItsOwnPattern(t *testing.T) {
+	f := func(g termGen) bool {
+		return Matches(termToPattern(g.T), g.T)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickVarMatchRoundTripsThroughBuild(t *testing.T) {
+	f := func(g termGen) bool {
+		b, ok := MatchFirst(V("x"), g.T)
+		if !ok {
+			return false
+		}
+		built, err := Build(V("x"), b)
+		return err == nil && Equal(built, g.T)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBagMatchSoundness: for every match of BagOf(rest, elem) the
+// selected element plus the rest reassembles the original bag.
+func TestQuickBagMatchSoundness(t *testing.T) {
+	f := func(g1, g2, g3 termGen) bool {
+		bag := NewBag(g1.T, g2.T, g3.T)
+		for _, b := range MatchAll(BagOf("R", V("e")), bag) {
+			e := b.MustGet("e")
+			rest := b.Bag("R")
+			if !Equal(rest.Add(e), bag) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(V("missing"), EmptyBinding()); err == nil {
+		t.Error("unbound var must error")
+	}
+	if _, err := Build(W(), EmptyBinding()); err == nil {
+		t.Error("wildcard template must error")
+	}
+	if _, err := Build(BagOf("R"), EmptyBinding()); err == nil {
+		t.Error("unbound bag rest must error")
+	}
+	b := EmptyBinding().Bind("R", Atom("notabag"))
+	if _, err := Build(BagOf("R"), b); err == nil {
+		t.Error("non-bag rest must error")
+	}
+	if _, err := Build(Compute("nil", func(Binding) Term { return nil }), EmptyBinding()); err == nil {
+		t.Error("nil compute must error")
+	}
+	if _, err := Build(PSeq{Rest: "S"}, EmptyBinding()); err == nil {
+		t.Error("unbound seq rest must error")
+	}
+}
+
+func TestBuildBagWithRest(t *testing.T) {
+	b := EmptyBinding().
+		Bind("Q", NewBag(Atom("a"))).
+		Bind("x", Atom("b"))
+	built, err := Build(BagOf("Q", V("x")), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(built, NewBag(Atom("a"), Atom("b"))) {
+		t.Fatalf("built %s", built)
+	}
+}
+
+func TestBindingHelpers(t *testing.T) {
+	b := NewBinding(map[string]Term{
+		"s": NewSeq(Atom("e")),
+		"g": NewBag(Atom("e")),
+		"i": Int(3),
+		"a": Atom("z"),
+	})
+	if b.Seq("s").Len() != 1 || b.Bag("g").Len() != 1 || b.Int("i") != 3 || b.Atom("a") != "z" {
+		t.Error("typed getters broken")
+	}
+	// Wrong-type and missing lookups return zero values.
+	if b.Seq("i").Len() != 0 || b.Bag("a").Len() != 0 || b.Int("s") != 0 || b.Atom("g") != "" {
+		t.Error("zero-value fallbacks broken")
+	}
+	if b.Seq("nope").Len() != 0 {
+		t.Error("missing seq should be empty")
+	}
+	// Shadowing.
+	b2 := b.Bind("i", Int(9))
+	if b2.Int("i") != 9 || b.Int("i") != 3 {
+		t.Error("persistent shadowing broken")
+	}
+	if len(b2.Map()) != 4 {
+		t.Errorf("Map size = %d", len(b2.Map()))
+	}
+}

@@ -1,0 +1,164 @@
+package trs
+
+import (
+	"strings"
+	"testing"
+)
+
+// counterSystem is a toy system: state (bag of "c" atoms, limit). Rule inc
+// adds a "c" while below limit; rule drop removes one.
+func counterSystem(limit int64) System {
+	return System{
+		Name: "counter",
+		Init: Pair(EmptyBag(), Int(limit)),
+		Rules: []Rule{
+			{
+				Name: "inc",
+				LHS:  Tup(V("B"), V("n")),
+				Guard: func(b Binding) bool {
+					return int64(b.Bag("B").Len()) < int64(b.Int("n"))
+				},
+				RHS: Tup(Compute("B+c", func(b Binding) Term {
+					return b.Bag("B").Add(Atom("c"))
+				}), V("n")),
+			},
+			{
+				Name: "drop",
+				LHS:  Tup(BagOf("B", A("c")), V("n")),
+				RHS:  Tup(BagOf("B"), V("n")),
+			},
+		},
+	}
+}
+
+func TestApplicationsBasic(t *testing.T) {
+	sys := counterSystem(2)
+	apps, err := Applications(sys.Rules, sys.Init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only inc applies at the empty state.
+	if len(apps) != 1 || apps[0].Rule.Name != "inc" {
+		t.Fatalf("apps = %v", apps)
+	}
+	next := apps[0].Next
+	apps2, err := Applications(sys.Rules, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// inc (still below limit) and drop.
+	if len(apps2) != 2 {
+		t.Fatalf("apps2 = %v", apps2)
+	}
+}
+
+func TestGuardDisablesRule(t *testing.T) {
+	sys := counterSystem(0)
+	apps, err := Applications(sys.Rules, sys.Init)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 0 {
+		t.Fatalf("guard should disable inc at limit 0, got %v", apps)
+	}
+}
+
+func TestSuccessorsDedup(t *testing.T) {
+	// Bag with two equal members: drop produces the same successor twice.
+	state := Pair(NewBag(Atom("c"), Atom("c")), Int(2))
+	sys := counterSystem(2)
+	succ, err := Successors(sys.Rules, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Successor states: bag of one c (via drop, deduped).
+	if len(succ) != 1 {
+		t.Fatalf("successors = %v", succ)
+	}
+	for _, names := range succ {
+		if len(names) != 1 || names[0] != "drop" {
+			t.Fatalf("names = %v", names)
+		}
+	}
+}
+
+func TestRuleByName(t *testing.T) {
+	sys := counterSystem(1)
+	if _, ok := sys.RuleByName("inc"); !ok {
+		t.Error("inc should exist")
+	}
+	if _, ok := sys.RuleByName("nope"); ok {
+		t.Error("nope should not exist")
+	}
+}
+
+func TestApplicationsBuildErrorPropagates(t *testing.T) {
+	bad := Rule{
+		Name: "bad",
+		LHS:  V("x"),
+		RHS:  V("unbound"),
+	}
+	if _, err := Applications([]Rule{bad}, Atom("s")); err == nil {
+		t.Fatal("expected build error")
+	}
+}
+
+func TestApplicationsAnywhere(t *testing.T) {
+	// Rewrite atom "a" to "b" anywhere.
+	r := Rule{Name: "ab", LHS: A("a"), RHS: A("b")}
+	state := NewTuple("", NewBag(Atom("a"), Atom("x")), NewSeq(Atom("a")))
+	apps, err := ApplicationsAnywhere([]Rule{r}, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 2 {
+		t.Fatalf("got %d applications, want 2 (bag member and seq member)", len(apps))
+	}
+	for _, a := range apps {
+		s := a.Next.String()
+		if !strings.Contains(s, "b") {
+			t.Errorf("rewritten state %s should contain b", s)
+		}
+	}
+	// Root rewriting also works through the same API.
+	apps2, err := ApplicationsAnywhere([]Rule{r}, Atom("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps2) != 1 || !Equal(apps2[0].Next, Atom("b")) {
+		t.Fatalf("root rewrite broken: %v", apps2)
+	}
+}
+
+func TestApplicationsAnywhereNested(t *testing.T) {
+	r := Rule{Name: "ab", LHS: A("a"), RHS: A("b")}
+	state := NewSeq(NewTuple("w", NewSeq(Atom("a"))))
+	apps, err := ApplicationsAnywhere([]Rule{r}, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewSeq(NewTuple("w", NewSeq(Atom("b"))))
+	if len(apps) != 1 || !Equal(apps[0].Next, want) {
+		t.Fatalf("nested rewrite: %v, want %s", apps, want)
+	}
+}
+
+func TestFormatRules(t *testing.T) {
+	out := FormatRules(counterSystem(2))
+	for _, frag := range []string{"System counter", "inc", "drop", "init"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("FormatRules output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := counterSystem(1).Rules[0]
+	if !strings.Contains(r.String(), "guard") {
+		t.Errorf("guarded rule should mention guard: %s", r)
+	}
+	r2 := counterSystem(1).Rules[1]
+	if strings.Contains(r2.String(), "guard") {
+		t.Errorf("unguarded rule should not mention guard: %s", r2)
+	}
+}
