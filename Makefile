@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: build test race bench bench-baseline vet check clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The experiment harness is concurrent since the parallel runner landed;
+# the race target is the cheap way to prove the fan-out stays data-race
+# free (the equivalence tests prove it stays deterministic).
+race:
+	$(GO) test -race ./internal/bench/... ./cmd/tokensim/...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run XXX -bench . -benchmem ./internal/history/ ./internal/bench/
+	$(GO) test -run XXX -bench . -benchmem .
+
+# Regenerate BENCH_baseline.json: paper-scale Figure 9, sequential oracle
+# vs the worker pool, with a byte-identity check between the two tables.
+# See EXPERIMENTS.md ("Parallel runner") for what the fields mean.
+bench-baseline: build
+	$(GO) run ./cmd/tokensim -exp fig9 -paper -parallel 4 -baseline \
+		-benchjson BENCH_baseline.json
+
+check: build vet test race
+
+clean:
+	$(GO) clean ./...
+	rm -f cpu.pprof mem.pprof

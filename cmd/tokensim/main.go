@@ -9,14 +9,27 @@
 //	tokensim -exp fig10 -csv          # CSV instead of a table
 //	tokensim -exp fig9 -paper         # paper-scale runs (slow)
 //	tokensim -exp fig9 -requests 5000 # custom scale
+//	tokensim -exp fig9 -parallel 4    # worker-pool size (0 = GOMAXPROCS)
+//	tokensim -exp fig9 -paper -baseline -benchjson BENCH_baseline.json
+//	                                  # sequential-vs-parallel perf record
+//	tokensim -exp fig9 -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// Runs are deterministic per seed at every parallelism level: each
+// simulation owns a private engine and RNG, so -parallel changes only wall
+// time, never the tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strings"
+	"time"
 
 	"adaptivetoken/internal/bench"
 	"adaptivetoken/internal/sim"
@@ -29,15 +42,46 @@ func main() {
 	}
 }
 
+// phase is the measured half of a benchmark record: one full experiment
+// pass at a fixed parallelism.
+type phase struct {
+	Parallelism  int                 `json:"parallelism"`
+	WallSeconds  float64             `json:"wall_seconds"`
+	EventsPerSec float64             `json:"events_per_sec"`
+	AllocBytes   uint64              `json:"alloc_bytes"`
+	Mallocs      uint64              `json:"mallocs"`
+	Stats        bench.StatsSnapshot `json:"stats"`
+}
+
+// record is the machine-readable benchmark artifact (-benchjson). With
+// -baseline it holds both the sequential oracle pass and the parallel pass
+// plus their speedup; otherwise only Parallel is set.
+type record struct {
+	Experiment      string  `json:"experiment"`
+	Seed            uint64  `json:"seed"`
+	Requests        int     `json:"requests"`
+	MaxTime         int64   `json:"max_time"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	Sequential      *phase  `json:"sequential,omitempty"`
+	Parallel        phase   `json:"parallel"`
+	Speedup         float64 `json:"speedup,omitempty"`
+	TablesIdentical bool    `json:"tables_identical"`
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("tokensim", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "fig9", "experiment id, or \"all\"")
-		list     = fs.Bool("list", false, "list experiment ids and exit")
-		csv      = fs.Bool("csv", false, "emit CSV instead of an aligned table")
-		paper    = fs.Bool("paper", false, "paper-scale runs (≥1000 rounds per point; slow)")
-		seed     = fs.Uint64("seed", 1, "random seed")
-		requests = fs.Int("requests", 0, "requests per run (0 = preset default)")
+		exp        = fs.String("exp", "fig9", "experiment id, or \"all\"")
+		list       = fs.Bool("list", false, "list experiment ids and exit")
+		csv        = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		paper      = fs.Bool("paper", false, "paper-scale runs (≥1000 rounds per point; slow)")
+		seed       = fs.Uint64("seed", 1, "random seed (0 is a valid seed)")
+		requests   = fs.Int("requests", 0, "requests per run (0 = preset default)")
+		parallel   = fs.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+		baseline   = fs.Bool("baseline", false, "run sequentially and in parallel, verify identical tables, record speedup")
+		benchjson  = fs.String("benchjson", "", "write a machine-readable benchmark record (JSON) to this file")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,23 +99,150 @@ func run(args []string, out io.Writer) error {
 		opts = bench.PaperOptions()
 	}
 	opts.Seed = *seed
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			opts.SeedSet = true // an explicit -seed 0 stays 0
+		}
+	})
 	if *requests > 0 {
 		opts.Requests = *requests
 		opts.MaxTime = sim.Time(*requests) * 10_000
 	}
+	opts.Parallelism = *parallel
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tokensim: memprofile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tokensim: memprofile:", err)
+		}
+	}()
+
+	if *baseline {
+		return runBaseline(*exp, opts, *benchjson, out)
+	}
+
+	text, ph, err := measure(*exp, opts, *csv)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, text)
+	if *benchjson != "" {
+		rec := record{
+			Experiment:      *exp,
+			Seed:            opts.Seed,
+			Requests:        opts.Requests,
+			MaxTime:         int64(opts.MaxTime),
+			GOMAXPROCS:      runtime.GOMAXPROCS(0),
+			Parallel:        ph,
+			TablesIdentical: true, // single pass; nothing to diverge
+		}
+		if err := writeJSON(*benchjson, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runBaseline runs the experiment twice — sequentially (the oracle) and at
+// the configured parallelism — asserts byte-identical tables, and writes
+// the combined perf record. This is how BENCH_baseline.json is generated
+// and regenerated; see EXPERIMENTS.md.
+func runBaseline(exp string, opts bench.Options, jsonPath string, out io.Writer) error {
+	seqOpts := opts
+	seqOpts.Parallelism = 1
+	seqText, seqPhase, err := measure(exp, seqOpts, false)
+	if err != nil {
+		return err
+	}
+	parText, parPhase, err := measure(exp, opts, false)
+	if err != nil {
+		return err
+	}
+	identical := seqText == parText
+	rec := record{
+		Experiment:      exp,
+		Seed:            opts.Seed,
+		Requests:        opts.Requests,
+		MaxTime:         int64(opts.MaxTime),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Sequential:      &seqPhase,
+		Parallel:        parPhase,
+		TablesIdentical: identical,
+	}
+	if parPhase.WallSeconds > 0 {
+		rec.Speedup = seqPhase.WallSeconds / parPhase.WallSeconds
+	}
+	if jsonPath == "" {
+		jsonPath = "BENCH_baseline.json"
+	}
+	if err := writeJSON(jsonPath, rec); err != nil {
+		return err
+	}
+	fmt.Fprint(out, parText)
+	fmt.Fprintf(out, "baseline: sequential %.2fs, parallel(%d) %.2fs, speedup %.2fx, %s -> %s\n",
+		seqPhase.WallSeconds, parPhase.Parallelism, parPhase.WallSeconds, rec.Speedup,
+		identicalWord(identical), jsonPath)
+	if !identical {
+		return fmt.Errorf("parallel tables diverge from the sequential oracle")
+	}
+	return nil
+}
+
+func identicalWord(ok bool) string {
+	if ok {
+		return "tables identical"
+	}
+	return "TABLES DIVERGE"
+}
+
+// measure renders the experiment (or all of them) once, timing the pass and
+// accounting simulation totals and allocations.
+func measure(exp string, opts bench.Options, csv bool) (string, phase, error) {
+	var stats bench.RunStats
+	opts.Stats = &stats
+	resolved := opts.Parallelism
+	if resolved <= 0 {
+		resolved = runtime.GOMAXPROCS(0)
+	}
+
+	var sb strings.Builder
 	render := func(t bench.Table) {
-		if *csv {
-			fmt.Fprint(out, t.CSV())
+		if csv {
+			sb.WriteString(t.CSV())
 		} else {
-			fmt.Fprintln(out, t.Format())
+			sb.WriteString(t.Format())
+			sb.WriteByte('\n')
 		}
 	}
 
-	if *exp == "all" {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+
+	if exp == "all" {
 		tables, err := bench.All(opts)
 		if err != nil {
-			return err
+			return "", phase{}, err
 		}
 		ids := make([]string, 0, len(tables))
 		for id := range tables {
@@ -81,17 +252,39 @@ func run(args []string, out io.Writer) error {
 		for _, id := range ids {
 			render(tables[id])
 		}
-		return nil
+	} else {
+		fn, ok := bench.Lookup(exp)
+		if !ok {
+			return "", phase{}, fmt.Errorf("unknown experiment %q (use -list)", exp)
+		}
+		tbl, err := fn(opts)
+		if err != nil {
+			return "", phase{}, err
+		}
+		render(tbl)
 	}
 
-	fn, ok := bench.Lookup(*exp)
-	if !ok {
-		return fmt.Errorf("unknown experiment %q (use -list)", *exp)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	snap := stats.Snapshot()
+	ph := phase{
+		Parallelism: resolved,
+		WallSeconds: wall.Seconds(),
+		AllocBytes:  after.TotalAlloc - before.TotalAlloc,
+		Mallocs:     after.Mallocs - before.Mallocs,
+		Stats:       snap,
 	}
-	tbl, err := fn(opts)
+	if wall > 0 {
+		ph.EventsPerSec = float64(snap.SimEvents) / wall.Seconds()
+	}
+	return sb.String(), ph, nil
+}
+
+// writeJSON writes v as indented JSON to path.
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
-	render(tbl)
-	return nil
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

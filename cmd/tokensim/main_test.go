@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -48,6 +51,105 @@ func TestRunBadFlag(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-definitely-not-a-flag"}, &sb); err == nil {
 		t.Fatal("bad flag must fail")
+	}
+}
+
+// TestRunParallelMatchesSequential: -parallel only changes wall time, never
+// the rendered tables.
+func TestRunParallelMatchesSequential(t *testing.T) {
+	var seq, par strings.Builder
+	if err := run([]string{"-exp", "fig10", "-requests", "200", "-parallel", "1"}, &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "fig10", "-requests", "200", "-parallel", "8"}, &par); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Errorf("outputs diverge:\n--- parallel 1\n%s\n--- parallel 8\n%s", seq.String(), par.String())
+	}
+}
+
+// TestRunSeedZero: an explicit -seed 0 must be honored, not remapped to the
+// default seed (regression for Options.withDefaults).
+func TestRunSeedZero(t *testing.T) {
+	var s0, s1 strings.Builder
+	if err := run([]string{"-exp", "tails", "-requests", "200", "-seed", "0"}, &s0); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "tails", "-requests", "200", "-seed", "1"}, &s1); err != nil {
+		t.Fatal(err)
+	}
+	if s0.String() == s1.String() {
+		t.Error("-seed 0 produced the same tables as -seed 1; zero seed remapped")
+	}
+}
+
+// TestRunBenchJSON checks the machine-readable benchmark record.
+func TestRunBenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var sb strings.Builder
+	if err := run([]string{"-exp", "saturation", "-requests", "64", "-benchjson", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if rec.Experiment != "saturation" || rec.Parallel.WallSeconds <= 0 ||
+		rec.Parallel.Stats.Runs != 6 || rec.Parallel.Stats.SimEvents == 0 {
+		t.Errorf("record = %+v", rec)
+	}
+}
+
+// TestRunBaseline exercises the sequential-vs-parallel baseline mode end to
+// end: the record must carry both phases and certify identical tables.
+func TestRunBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_baseline.json")
+	var sb strings.Builder
+	err := run([]string{"-exp", "saturation", "-requests", "64",
+		"-parallel", "4", "-baseline", "-benchjson", path}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "tables identical") {
+		t.Errorf("baseline output:\n%s", sb.String())
+	}
+	var rec record
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Sequential == nil || rec.Sequential.Parallelism != 1 ||
+		rec.Parallel.Parallelism != 4 || !rec.TablesIdentical || rec.Speedup <= 0 {
+		t.Errorf("record = %+v", rec)
+	}
+}
+
+// TestRunProfiles smoke-tests -cpuprofile/-memprofile file emission.
+func TestRunProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var sb strings.Builder
+	if err := run([]string{"-exp", "saturation", "-requests", "64",
+		"-cpuprofile", cpu, "-memprofile", mem}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
 	}
 }
 

@@ -12,12 +12,20 @@
 //
 // Every experiment returns a Table that renders as an aligned text table or
 // CSV; cmd/tokensim and the root-level benchmarks drive them.
+//
+// Experiments are embarrassingly parallel — every run owns its own seeded
+// sim.Engine — so each experiment builds its job list up front and fans it
+// across a Runner worker pool (Options.Parallelism), reassembling results
+// in submission order. Tables are byte-identical at every parallelism
+// level; Parallelism: 1 is the sequential oracle the equivalence tests
+// compare against.
 package bench
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"adaptivetoken/internal/driver"
@@ -28,13 +36,23 @@ import (
 
 // Options tunes experiment scale.
 type Options struct {
-	// Seed drives all randomness.
+	// Seed drives all randomness. A zero Seed is replaced by the default
+	// unless SeedSet marks it as deliberate.
 	Seed uint64
+	// SeedSet marks Seed as explicitly chosen, making Seed == 0 usable
+	// (the CLI sets it whenever -seed is passed).
+	SeedSet bool
 	// Requests per simulation run (the paper runs ≥1000 rounds; the
 	// default here is sized for CI).
 	Requests int
 	// MaxTime bounds each run in simulated time units.
 	MaxTime sim.Time
+	// Parallelism is the worker-pool size experiments fan their runs
+	// across: 0 means runtime.GOMAXPROCS(0), 1 runs sequentially.
+	Parallelism int
+	// Stats, when non-nil, accumulates totals (runs, simulated events,
+	// messages, grants) across every run for benchmark records.
+	Stats *RunStats
 }
 
 // DefaultOptions returns CI-sized defaults.
@@ -49,7 +67,7 @@ func PaperOptions() Options {
 
 func (o Options) withDefaults() Options {
 	d := DefaultOptions()
-	if o.Seed == 0 {
+	if o.Seed == 0 && !o.SeedSet {
 		o.Seed = d.Seed
 	}
 	if o.Requests <= 0 {
@@ -60,6 +78,9 @@ func (o Options) withDefaults() Options {
 	}
 	return o
 }
+
+// runner returns the worker pool configured by the options.
+func (o Options) runner() *Runner { return NewRunner(o.Parallelism) }
 
 // Point is one x position of an experiment with one y value per series.
 type Point struct {
@@ -75,9 +96,14 @@ type Table struct {
 	Points []Point
 }
 
+// cellWidth over-estimates one rendered numeric cell (separator included)
+// for pre-sizing the output builders.
+const cellWidth = 24
+
 // Format renders the table with aligned columns.
 func (t Table) Format() string {
 	var sb strings.Builder
+	sb.Grow((len(t.Points) + 2) * (len(t.Series) + 1) * cellWidth)
 	fmt.Fprintf(&sb, "# %s\n", t.Name)
 	fmt.Fprintf(&sb, "%-10s", t.XLabel)
 	for _, s := range t.Series {
@@ -94,9 +120,10 @@ func (t Table) Format() string {
 	return sb.String()
 }
 
-// CSV renders the table as comma-separated values.
+// CSV renders the table as comma-separated values. ParseCSV inverts it.
 func (t Table) CSV() string {
 	var sb strings.Builder
+	sb.Grow((len(t.Points) + 1) * (len(t.Series) + 1) * cellWidth)
 	sb.WriteString(t.XLabel)
 	for _, s := range t.Series {
 		sb.WriteByte(',')
@@ -113,22 +140,61 @@ func (t Table) CSV() string {
 	return sb.String()
 }
 
-// runOne executes one simulation and returns its result summary.
-func runOne(cfg protocol.Config, opts Options, gen workload.Generator) (driver.Result, error) {
-	return runOneDelay(cfg, opts, gen, nil)
+// ParseCSV parses Table.CSV output back into a Table (Name is not part of
+// the CSV encoding and comes back empty). Series names must not contain
+// commas — none of the experiments' do.
+func ParseCSV(s string) (Table, error) {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		return Table{}, fmt.Errorf("bench: empty CSV")
+	}
+	head := strings.Split(lines[0], ",")
+	t := Table{XLabel: head[0], Series: head[1:]}
+	for ln, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != len(head) {
+			return Table{}, fmt.Errorf("bench: CSV row %d has %d fields, want %d",
+				ln+1, len(fields), len(head))
+		}
+		x, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return Table{}, fmt.Errorf("bench: CSV row %d: %w", ln+1, err)
+		}
+		p := Point{X: x, Y: make(map[string]float64, len(t.Series))}
+		for i, series := range t.Series {
+			v, err := strconv.ParseFloat(fields[i+1], 64)
+			if err != nil {
+				return Table{}, fmt.Errorf("bench: CSV row %d col %d: %w", ln+1, i+1, err)
+			}
+			p.Y[series] = v
+		}
+		t.Points = append(t.Points, p)
+	}
+	return t, nil
 }
 
-// runOneDelay is runOne under a custom message-delay model.
-func runOneDelay(cfg protocol.Config, opts Options, gen workload.Generator, dm sim.DelayModel) (driver.Result, error) {
-	r, err := driver.New(cfg, driver.Options{Seed: opts.Seed, Delay: dm})
+// runJob executes one simulation job and returns its result summary.
+func runJob(j Job, opts Options) (driver.Result, error) {
+	r, err := driver.New(j.Cfg, driver.Options{
+		Seed:          opts.Seed,
+		Delay:         j.Delay,
+		CSTime:        j.CSTime,
+		TrackFairness: j.TrackFairness,
+	})
 	if err != nil {
 		return driver.Result{}, err
 	}
-	end, err := r.RunWorkload(gen, opts.Requests, opts.MaxTime)
-	if err != nil {
-		return driver.Result{}, fmt.Errorf("%s n=%d: %w", cfg.Variant, cfg.N, err)
+	requests := opts.Requests
+	if j.Requests > 0 {
+		requests = j.Requests
 	}
-	return r.Summarize(end), nil
+	end, err := r.RunWorkload(j.Gen, requests, opts.MaxTime)
+	if err != nil {
+		return driver.Result{}, fmt.Errorf("%s n=%d: %w", j.Cfg.Variant, j.Cfg.N, err)
+	}
+	res := r.Summarize(end)
+	opts.Stats.record(res)
+	return res, nil
 }
 
 // Figure9 reproduces the paper's Figure 9: average responsiveness under a
@@ -136,20 +202,28 @@ func runOneDelay(cfg protocol.Config, opts Options, gen workload.Generator, dm s
 func Figure9(opts Options) (Table, error) {
 	opts = opts.withDefaults()
 	ns := []int{8, 16, 32, 64, 100, 128, 256, 512, 1000}
+	variants := []protocol.Variant{protocol.RingToken, protocol.LinearSearch, protocol.BinarySearch}
 	t := Table{
 		Name:   "Figure 9 — responsiveness, fixed load (mean gap 10), sweeping n",
 		XLabel: "n",
 		Series: []string{"ring", "linear", "binsearch", "log2(n)"},
 	}
+	jobs := make([]Job, 0, len(ns)*len(variants))
+	for _, n := range ns {
+		for _, v := range variants {
+			jobs = append(jobs, Job{Cfg: figureConfig(v, n), Gen: workload.Poisson{N: n, MeanGap: 10}})
+		}
+	}
+	res, err := opts.runner().RunJobs(opts, jobs)
+	if err != nil {
+		return t, err
+	}
+	k := 0
 	for _, n := range ns {
 		p := Point{X: float64(n), Y: map[string]float64{"log2(n)": math.Log2(float64(n))}}
-		for _, v := range []protocol.Variant{protocol.RingToken, protocol.LinearSearch, protocol.BinarySearch} {
-			res, err := runOne(figureConfig(v, n), opts,
-				workload.Poisson{N: n, MeanGap: 10})
-			if err != nil {
-				return t, err
-			}
-			p.Y[v.String()] = res.Responsiveness.Mean
+		for _, v := range variants {
+			p.Y[v.String()] = res[k].Responsiveness.Mean
+			k++
 		}
 		t.Points = append(t.Points, p)
 	}
@@ -162,23 +236,31 @@ func Figure10(opts Options) (Table, error) {
 	opts = opts.withDefaults()
 	const n = 100
 	gaps := []float64{1, 2, 5, 10, 20, 50, 100, 200, 500}
+	variants := []protocol.Variant{protocol.RingToken, protocol.BinarySearch}
 	t := Table{
 		Name:   "Figure 10 — responsiveness at n=100, decreasing load",
 		XLabel: "mean-gap",
 		Series: []string{"ring", "binsearch", "log2(n)", "n/2"},
 	}
+	jobs := make([]Job, 0, len(gaps)*len(variants))
+	for _, gap := range gaps {
+		for _, v := range variants {
+			jobs = append(jobs, Job{Cfg: figureConfig(v, n), Gen: workload.Poisson{N: n, MeanGap: gap}})
+		}
+	}
+	res, err := opts.runner().RunJobs(opts, jobs)
+	if err != nil {
+		return t, err
+	}
+	k := 0
 	for _, gap := range gaps {
 		p := Point{X: gap, Y: map[string]float64{
 			"log2(n)": math.Log2(n),
 			"n/2":     n / 2,
 		}}
-		for _, v := range []protocol.Variant{protocol.RingToken, protocol.BinarySearch} {
-			res, err := runOne(figureConfig(v, n), opts,
-				workload.Poisson{N: n, MeanGap: gap})
-			if err != nil {
-				return t, err
-			}
-			p.Y[v.String()] = res.Responsiveness.Mean
+		for _, v := range variants {
+			p.Y[v.String()] = res[k].Responsiveness.Mean
+			k++
 		}
 		t.Points = append(t.Points, p)
 	}
@@ -206,6 +288,7 @@ func AblationDirected(opts Options) (Table, error) {
 	opts = opts.withDefaults()
 	const n = 100
 	gaps := []float64{5, 20, 100, 500}
+	variants := []protocol.Variant{protocol.BinarySearch, protocol.DirectedSearch}
 	t := Table{
 		Name:   "Ablation — delegated vs directed search (n=100)",
 		XLabel: "mean-gap",
@@ -214,21 +297,29 @@ func AblationDirected(opts Options) (Table, error) {
 			"delegated-cheap/req", "directed-cheap/req",
 		},
 	}
+	jobs := make([]Job, 0, len(gaps)*len(variants))
+	for _, gap := range gaps {
+		for _, v := range variants {
+			jobs = append(jobs, Job{Cfg: figureConfig(v, n), Gen: workload.Poisson{N: n, MeanGap: gap}})
+		}
+	}
+	res, err := opts.runner().RunJobs(opts, jobs)
+	if err != nil {
+		return t, err
+	}
+	k := 0
 	for _, gap := range gaps {
 		p := Point{X: gap, Y: map[string]float64{}}
-		for _, v := range []protocol.Variant{protocol.BinarySearch, protocol.DirectedSearch} {
-			res, err := runOne(figureConfig(v, n), opts,
-				workload.Poisson{N: n, MeanGap: gap})
-			if err != nil {
-				return t, err
-			}
+		for _, v := range variants {
+			r := res[k]
+			k++
 			label := "delegated"
 			if v == protocol.DirectedSearch {
 				label = "directed"
 			}
-			cheap := res.Messages["search"] + res.Messages["probe"] + res.Messages["probe-reply"]
-			p.Y[label+"-wait"] = res.Waits.Mean
-			p.Y[label+"-cheap/req"] = float64(cheap) / float64(res.Issued)
+			cheap := r.Messages["search"] + r.Messages["probe"] + r.Messages["probe-reply"]
+			p.Y[label+"-wait"] = r.Waits.Mean
+			p.Y[label+"-cheap/req"] = float64(cheap) / float64(r.Issued)
 		}
 		t.Points = append(t.Points, p)
 	}
@@ -246,25 +337,29 @@ func AblationTrapGC(opts Options) (Table, error) {
 		Series: []string{"bounces/grant", "expensive/grant", "wait-mean"},
 	}
 	modes := []protocol.GCMode{protocol.GCNone, protocol.GCRotation, protocol.GCInverse}
-	for i, mode := range modes {
+	jobs := make([]Job, 0, len(modes))
+	for _, mode := range modes {
 		cfg := protocol.Config{Variant: protocol.BinarySearch, N: n, TrapGC: mode, TrapTTLRounds: n}
-		res, err := runOne(cfg, opts, workload.Poisson{N: n, MeanGap: 8})
-		if err != nil {
-			return t, err
-		}
-		grants := float64(res.Grants)
+		jobs = append(jobs, Job{Cfg: cfg, Gen: workload.Poisson{N: n, MeanGap: 8}})
+	}
+	res, err := opts.runner().RunJobs(opts, jobs)
+	if err != nil {
+		return t, err
+	}
+	for i, r := range res {
+		grants := float64(r.Grants)
 		// A vacuous delivery shows as a token-return beyond one per
 		// grant (inverse GC also routes through the trail, so compare
 		// like with like via expensive totals too).
-		bounces := float64(res.Messages["token-return"]) - grants
+		bounces := float64(r.Messages["token-return"]) - grants
 		if bounces < 0 {
 			bounces = 0
 		}
-		expensive := float64(res.Messages["token"] + res.Messages["token-return"])
+		expensive := float64(r.Messages["token"] + r.Messages["token-return"])
 		t.Points = append(t.Points, Point{X: float64(i), Y: map[string]float64{
 			"bounces/grant":   bounces / grants,
 			"expensive/grant": expensive / grants,
-			"wait-mean":       res.Waits.Mean,
+			"wait-mean":       r.Waits.Mean,
 		}})
 	}
 	return t, nil
@@ -285,31 +380,33 @@ func AblationSpeed(opts Options) (Table, error) {
 		XLabel: "hold",
 		Series: []string{"token-msgs/req", "wait-mean"},
 	}
-	for _, hold := range []protocol.Time{0, 4, 16, 64} {
+	holds := []protocol.Time{0, 4, 16, 64}
+	jobs := make([]Job, 0, len(holds)+1)
+	xs := make([]float64, 0, len(holds)+1)
+	for _, hold := range holds {
 		cfg := figureConfig(protocol.BinarySearch, n)
 		cfg.HoldIdle = hold
-		res, err := runOne(cfg, opts, gen())
-		if err != nil {
-			return t, err
-		}
-		t.Points = append(t.Points, Point{X: float64(hold), Y: map[string]float64{
-			"token-msgs/req": float64(res.Messages["token"]) / float64(res.Issued),
-			"wait-mean":      res.Waits.Mean,
-		}})
+		jobs = append(jobs, Job{Cfg: cfg, Gen: gen()})
+		xs = append(xs, float64(hold))
 	}
 	// Adaptive policy, reported at x = -1.
 	cfg := figureConfig(protocol.BinarySearch, n)
 	cfg.AdaptiveSpeed = true
 	cfg.MinHold = 1
 	cfg.MaxHold = 256
-	res, err := runOne(cfg, opts, gen())
+	jobs = append(jobs, Job{Cfg: cfg, Gen: gen()})
+	xs = append(xs, -1)
+
+	res, err := opts.runner().RunJobs(opts, jobs)
 	if err != nil {
 		return t, err
 	}
-	t.Points = append(t.Points, Point{X: -1, Y: map[string]float64{
-		"token-msgs/req": float64(res.Messages["token"]) / float64(res.Issued),
-		"wait-mean":      res.Waits.Mean,
-	}})
+	for i, r := range res {
+		t.Points = append(t.Points, Point{X: xs[i], Y: map[string]float64{
+			"token-msgs/req": float64(r.Messages["token"]) / float64(r.Issued),
+			"wait-mean":      r.Waits.Mean,
+		}})
+	}
 	sort.Slice(t.Points, func(i, j int) bool { return t.Points[i].X < t.Points[j].X })
 	return t, nil
 }
@@ -333,15 +430,26 @@ func AblationPush(opts Options) (Table, error) {
 			return &workload.Bursty{N: n, BurstSize: 6, WithinGap: 1, IdleGap: 400}
 		},
 	}
-	for x, mk := range gens {
-		p := Point{X: float64(x), Y: map[string]float64{}}
-		for _, v := range []protocol.Variant{protocol.BinarySearch, protocol.PushProbe, protocol.Combined} {
+	variants := []protocol.Variant{protocol.BinarySearch, protocol.PushProbe, protocol.Combined}
+	jobs := make([]Job, 0, len(gens)*len(variants))
+	for _, mk := range gens {
+		for _, v := range variants {
 			cfg := figureConfig(v, n)
 			cfg.PushWait = 2
-			res, err := runOne(cfg, opts, mk())
-			if err != nil {
-				return t, err
-			}
+			// mk() per job: stateful generators must not be shared.
+			jobs = append(jobs, Job{Cfg: cfg, Gen: mk()})
+		}
+	}
+	res, err := opts.runner().RunJobs(opts, jobs)
+	if err != nil {
+		return t, err
+	}
+	k := 0
+	for x := range gens {
+		p := Point{X: float64(x), Y: map[string]float64{}}
+		for _, v := range variants {
+			r := res[k]
+			k++
 			label := "pull"
 			switch v {
 			case protocol.PushProbe:
@@ -349,9 +457,9 @@ func AblationPush(opts Options) (Table, error) {
 			case protocol.Combined:
 				label = "combined"
 			}
-			cheap := res.Messages["search"] + res.Messages["want-query"] + res.Messages["want-reply"]
-			p.Y[label+"-wait"] = res.Waits.Mean
-			p.Y[label+"-cheap/req"] = float64(cheap) / float64(res.Issued)
+			cheap := r.Messages["search"] + r.Messages["want-query"] + r.Messages["want-reply"]
+			p.Y[label+"-wait"] = r.Waits.Mean
+			p.Y[label+"-cheap/req"] = float64(cheap) / float64(r.Issued)
 		}
 		t.Points = append(t.Points, p)
 	}
@@ -364,20 +472,25 @@ func AblationPush(opts Options) (Table, error) {
 func AblationThrottle(opts Options) (Table, error) {
 	opts = opts.withDefaults()
 	const n = 64
+	gaps := []float64{2, 10, 50, 200}
 	t := Table{
 		Name:   "Ablation — gimme/token message ratio (n=64)",
 		XLabel: "mean-gap",
 		Series: []string{"search-msgs", "token-msgs", "ratio"},
 	}
-	for _, gap := range []float64{2, 10, 50, 200} {
-		res, err := runOne(figureConfig(protocol.BinarySearch, n), opts,
-			workload.Poisson{N: n, MeanGap: gap})
-		if err != nil {
-			return t, err
-		}
-		search := float64(res.Messages["search"])
-		token := float64(res.Messages["token"] + res.Messages["token-return"])
-		t.Points = append(t.Points, Point{X: gap, Y: map[string]float64{
+	jobs := make([]Job, 0, len(gaps))
+	for _, gap := range gaps {
+		jobs = append(jobs, Job{Cfg: figureConfig(protocol.BinarySearch, n),
+			Gen: workload.Poisson{N: n, MeanGap: gap}})
+	}
+	res, err := opts.runner().RunJobs(opts, jobs)
+	if err != nil {
+		return t, err
+	}
+	for i, r := range res {
+		search := float64(r.Messages["search"])
+		token := float64(r.Messages["token"] + r.Messages["token-return"])
+		t.Points = append(t.Points, Point{X: gaps[i], Y: map[string]float64{
 			"search-msgs": search,
 			"token-msgs":  token,
 			"ratio":       search / token,
@@ -391,28 +504,32 @@ func AblationThrottle(opts Options) (Table, error) {
 // while a request waits, against the log N bound.
 func FairnessExperiment(opts Options) (Table, error) {
 	opts = opts.withDefaults()
+	ns := []int{8, 16, 32, 64}
 	t := Table{
 		Name:   "Theorem 3 — possessions while waiting (heavy contention)",
 		XLabel: "n",
 		Series: []string{"max-by-one-mean", "max-by-one-max", "log2(n)", "total-mean"},
 	}
-	for _, n := range []int{8, 16, 32, 64} {
-		r, err := driver.New(figureConfig(protocol.BinarySearch, n),
-			driver.Options{Seed: opts.Seed, TrackFairness: true, CSTime: 2})
-		if err != nil {
-			return t, err
-		}
-		_, err = r.RunWorkload(workload.Poisson{N: n, MeanGap: 3}, opts.Requests/2, opts.MaxTime)
-		if err != nil {
-			return t, err
-		}
-		maxS := r.Fair.MaxSummary()
-		totS := r.Fair.TotalSummary()
-		t.Points = append(t.Points, Point{X: float64(n), Y: map[string]float64{
-			"max-by-one-mean": maxS.Mean,
-			"max-by-one-max":  maxS.Max,
-			"log2(n)":         math.Log2(float64(n)),
-			"total-mean":      totS.Mean,
+	jobs := make([]Job, 0, len(ns))
+	for _, n := range ns {
+		jobs = append(jobs, Job{
+			Cfg:           figureConfig(protocol.BinarySearch, n),
+			Gen:           workload.Poisson{N: n, MeanGap: 3},
+			Requests:      opts.Requests / 2,
+			CSTime:        2,
+			TrackFairness: true,
+		})
+	}
+	res, err := opts.runner().RunJobs(opts, jobs)
+	if err != nil {
+		return t, err
+	}
+	for i, r := range res {
+		t.Points = append(t.Points, Point{X: float64(ns[i]), Y: map[string]float64{
+			"max-by-one-mean": r.FairMax.Mean,
+			"max-by-one-max":  r.FairMax.Max,
+			"log2(n)":         math.Log2(float64(ns[i])),
+			"total-mean":      r.FairTotal.Mean,
 		}})
 	}
 	return t, nil
@@ -423,23 +540,33 @@ func FairnessExperiment(opts Options) (Table, error) {
 // hybrid must not lose the ring's throughput.
 func Saturation(opts Options) (Table, error) {
 	opts = opts.withDefaults()
+	ns := []int{8, 32, 128}
+	variants := []protocol.Variant{protocol.RingToken, protocol.BinarySearch}
 	t := Table{
 		Name:   "Saturation — all nodes ready at once",
 		XLabel: "n",
 		Series: []string{"ring", "binsearch"},
 	}
-	for _, n := range []int{8, 32, 128} {
+	jobs := make([]Job, 0, len(ns)*len(variants))
+	for _, n := range ns {
+		for _, v := range variants {
+			jobs = append(jobs, Job{
+				Cfg:      figureConfig(v, n),
+				Gen:      &workload.AllAtOnce{N: n, At: 1},
+				Requests: n,
+			})
+		}
+	}
+	res, err := opts.runner().RunJobs(opts, jobs)
+	if err != nil {
+		return t, err
+	}
+	k := 0
+	for _, n := range ns {
 		p := Point{X: float64(n), Y: map[string]float64{}}
-		for _, v := range []protocol.Variant{protocol.RingToken, protocol.BinarySearch} {
-			r, err := driver.New(figureConfig(v, n), driver.Options{Seed: opts.Seed})
-			if err != nil {
-				return t, err
-			}
-			_, err = r.RunWorkload(&workload.AllAtOnce{N: n, At: 1}, n, opts.MaxTime)
-			if err != nil {
-				return t, err
-			}
-			p.Y[v.String()] = r.Resp.Summary().Mean
+		for _, v := range variants {
+			p.Y[v.String()] = res[k].Responsiveness.Mean
+			k++
 		}
 		t.Points = append(t.Points, p)
 	}
@@ -463,20 +590,29 @@ func DelaySensitivity(opts Options) (Table, error) {
 		sim.UniformDelay{Min: 1, Max: 5},
 		sim.ExponentialDelay{Mean: 3},
 	}
-	for x, dm := range models {
-		p := Point{X: float64(x), Y: map[string]float64{}}
-		for _, v := range []protocol.Variant{protocol.RingToken, protocol.BinarySearch} {
+	variants := []protocol.Variant{protocol.RingToken, protocol.BinarySearch}
+	jobs := make([]Job, 0, len(models)*len(variants))
+	for _, dm := range models {
+		for _, v := range variants {
 			cfg := figureConfig(v, n)
 			cfg.ResearchTimeout = 2000 // jittery delays need retry insurance
-			res, err := runOneDelay(cfg, opts, workload.Poisson{N: n, MeanGap: 200}, dm)
-			if err != nil {
-				return t, err
-			}
+			jobs = append(jobs, Job{Cfg: cfg, Gen: workload.Poisson{N: n, MeanGap: 200}, Delay: dm})
+		}
+	}
+	res, err := opts.runner().RunJobs(opts, jobs)
+	if err != nil {
+		return t, err
+	}
+	k := 0
+	for x := range models {
+		p := Point{X: float64(x), Y: map[string]float64{}}
+		for _, v := range variants {
 			label := "ring-wait"
 			if v == protocol.BinarySearch {
 				label = "binsearch-wait"
 			}
-			p.Y[label] = res.Waits.Mean
+			p.Y[label] = res[k].Waits.Mean
+			k++
 		}
 		t.Points = append(t.Points, p)
 	}
@@ -492,6 +628,8 @@ func DelayModelLabels() []string { return []string{"constant", "uniform", "expon
 func TailLatency(opts Options) (Table, error) {
 	opts = opts.withDefaults()
 	const n = 100
+	gaps := []float64{10, 50, 500}
+	variants := []protocol.Variant{protocol.RingToken, protocol.BinarySearch}
 	t := Table{
 		Name:   "Tails — waiting-time percentiles (n=100)",
 		XLabel: "mean-gap",
@@ -499,19 +637,28 @@ func TailLatency(opts Options) (Table, error) {
 			"ring-p50", "ring-p99", "binsearch-p50", "binsearch-p99",
 		},
 	}
-	for _, gap := range []float64{10, 50, 500} {
+	jobs := make([]Job, 0, len(gaps)*len(variants))
+	for _, gap := range gaps {
+		for _, v := range variants {
+			jobs = append(jobs, Job{Cfg: figureConfig(v, n), Gen: workload.Poisson{N: n, MeanGap: gap}})
+		}
+	}
+	res, err := opts.runner().RunJobs(opts, jobs)
+	if err != nil {
+		return t, err
+	}
+	k := 0
+	for _, gap := range gaps {
 		p := Point{X: gap, Y: map[string]float64{}}
-		for _, v := range []protocol.Variant{protocol.RingToken, protocol.BinarySearch} {
-			res, err := runOne(figureConfig(v, n), opts, workload.Poisson{N: n, MeanGap: gap})
-			if err != nil {
-				return t, err
-			}
+		for _, v := range variants {
+			r := res[k]
+			k++
 			label := "ring"
 			if v == protocol.BinarySearch {
 				label = "binsearch"
 			}
-			p.Y[label+"-p50"] = res.Waits.P50
-			p.Y[label+"-p99"] = res.Waits.P99
+			p.Y[label+"-p50"] = r.Waits.P50
+			p.Y[label+"-p99"] = r.Waits.P99
 		}
 		t.Points = append(t.Points, p)
 	}
@@ -523,20 +670,26 @@ func TailLatency(opts Options) (Table, error) {
 // messages each delivery costs.
 func MessageCost(opts Options) (Table, error) {
 	opts = opts.withDefaults()
+	ns := []int{8, 16, 32, 64, 128, 256, 512}
 	t := Table{
 		Name:   "Lemma 6 — search messages per request vs log2(n) (light load)",
 		XLabel: "n",
 		Series: []string{"search/req", "log2(n)", "expensive/grant"},
 	}
-	for _, n := range []int{8, 16, 32, 64, 128, 256, 512} {
-		res, err := runOne(figureConfig(protocol.BinarySearch, n), opts,
-			workload.Poisson{N: n, MeanGap: float64(4 * n)})
-		if err != nil {
-			return t, err
-		}
-		expensive := float64(res.Messages["token"]+res.Messages["token-return"]) / float64(res.Grants)
+	jobs := make([]Job, 0, len(ns))
+	for _, n := range ns {
+		jobs = append(jobs, Job{Cfg: figureConfig(protocol.BinarySearch, n),
+			Gen: workload.Poisson{N: n, MeanGap: float64(4 * n)}})
+	}
+	res, err := opts.runner().RunJobs(opts, jobs)
+	if err != nil {
+		return t, err
+	}
+	for i, r := range res {
+		n := ns[i]
+		expensive := float64(r.Messages["token"]+r.Messages["token-return"]) / float64(r.Grants)
 		t.Points = append(t.Points, Point{X: float64(n), Y: map[string]float64{
-			"search/req":      float64(res.Messages["search"]) / float64(res.Issued),
+			"search/req":      float64(r.Messages["search"]) / float64(r.Issued),
 			"log2(n)":         math.Log2(float64(n)),
 			"expensive/grant": expensive,
 		}})

@@ -300,10 +300,15 @@ type Result struct {
 	Issued         int
 	Coalesced      int
 	EndTime        sim.Time
+	SimEvents      int // discrete events the kernel executed
 	Responsiveness metrics.Summary
 	Waits          metrics.Summary
 	Messages       map[string]int64
 	TotalMessages  int64
+	// FairMax and FairTotal carry the Theorem 3 possession summaries;
+	// they are meaningful only when Options.TrackFairness was set.
+	FairMax   metrics.Summary
+	FairTotal metrics.Summary
 }
 
 // Summarize collects the run's metrics.
@@ -312,16 +317,22 @@ func (r *Runner) Summarize(end sim.Time) Result {
 	for _, k := range r.Msgs.Kinds() {
 		msgs[k] = r.Msgs.Get(k)
 	}
-	return Result{
+	res := Result{
 		Variant:        r.cfg.Variant.String(),
 		N:              r.cfg.N,
 		Grants:         r.grants,
 		Issued:         r.issued,
 		Coalesced:      r.coalesced,
 		EndTime:        end,
+		SimEvents:      r.eng.Events(),
 		Responsiveness: r.Resp.Summary(),
 		Waits:          r.Waits.Summary(),
 		Messages:       msgs,
 		TotalMessages:  r.Msgs.Total(),
 	}
+	if r.opts.TrackFairness {
+		res.FairMax = r.Fair.MaxSummary()
+		res.FairTotal = r.Fair.TotalSummary()
+	}
+	return res
 }

@@ -1,0 +1,93 @@
+package history
+
+import "testing"
+
+// grow builds a log of n events where every stride-th event is a
+// circulation hop — the shape protocol histories take (mostly data
+// broadcasts punctuated by token rotations).
+func grow(n, stride int) *Log {
+	l := New()
+	for i := 0; i < n; i++ {
+		if i%stride == stride-1 {
+			l.Append(i%8, KindCirculation, "")
+		} else {
+			l.Append(i%8, KindData, "payload")
+		}
+	}
+	return l
+}
+
+// BenchmarkPrefixC measures the ⊂_C direction decision — the BinarySearch
+// hot path the §4.4 round-counter optimization targets. With the cached
+// last-circulation seq this is O(1) and allocation-free regardless of log
+// length.
+func BenchmarkPrefixC(b *testing.B) {
+	a := grow(4096, 8)
+	o := a.Clone()
+	o.Append(0, KindCirculation, "")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !a.PrefixC(o) {
+			b.Fatal("a ⊂_C o must hold")
+		}
+	}
+}
+
+// BenchmarkLastCirculationSeq measures the round-counter read on a log
+// whose tail is all data events — the worst case for the old backward scan.
+func BenchmarkLastCirculationSeq(b *testing.B) {
+	l := New()
+	l.Append(0, KindCirculation, "")
+	for i := 0; i < 4096; i++ {
+		l.Append(i%8, KindData, "payload")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if l.LastCirculationSeq() != 1 {
+			b.Fatal("wrong seq")
+		}
+	}
+}
+
+// BenchmarkProjectCirculation measures materializing the ⊂_C projection.
+// The cache turns the filter-scan (with append regrowth) into one sized
+// copy.
+func BenchmarkProjectCirculation(b *testing.B) {
+	l := grow(4096, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(l.ProjectCirculation()) != 512 {
+			b.Fatal("wrong projection size")
+		}
+	}
+}
+
+// BenchmarkCirculationView measures the zero-copy read of the cached
+// projection.
+func BenchmarkCirculationView(b *testing.B) {
+	l := grow(4096, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(l.CirculationView()) != 512 {
+			b.Fatal("wrong projection size")
+		}
+	}
+}
+
+// BenchmarkAppend measures the per-event append cost including cache
+// maintenance.
+func BenchmarkAppend(b *testing.B) {
+	b.ReportAllocs()
+	l := New()
+	for i := 0; i < b.N; i++ {
+		if i%8 == 7 {
+			l.Append(i%8, KindCirculation, "")
+		} else {
+			l.Append(i%8, KindData, "payload")
+		}
+	}
+}

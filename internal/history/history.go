@@ -58,9 +58,21 @@ func (e Event) String() string {
 // Log is an append-only event log, possibly compacted: entries before Base
 // have been dropped (round-counter bounding), but their count is remembered
 // so prefix comparisons against other logs of the same lineage stay sound.
+//
+// The log maintains its circulation projection incrementally: every append
+// of a KindCirculation event also lands in a cached projection slice, so
+// ProjectCirculation, LastCirculationSeq, and PrefixC never rescan the
+// entries — the ⊂_C direction decision is O(1), matching the paper's §4.4
+// round-counter optimization at the data-structure level too.
 type Log struct {
 	base    uint64 // number of dropped leading events
 	entries []Event
+	// circ caches the circulation projection of entries (same values,
+	// maintained on Append/AppendEvent/CompactTo).
+	circ []Event
+	// lastCirc is the Seq of the latest circulation event ever appended
+	// to this lineage (0 if none known) — kept across compaction.
+	lastCirc uint64
 }
 
 // New returns an empty log.
@@ -70,7 +82,14 @@ func New() *Log { return &Log{} }
 func FromEvents(events []Event) *Log {
 	cp := make([]Event, len(events))
 	copy(cp, events)
-	return &Log{entries: cp}
+	l := &Log{entries: cp}
+	for _, e := range cp {
+		if e.Kind == KindCirculation {
+			l.circ = append(l.circ, e)
+			l.lastCirc = e.Seq
+		}
+	}
+	return l
 }
 
 // Len returns the total number of events ever appended, including
@@ -90,7 +109,12 @@ func (l *Log) At(i int) Event { return l.entries[i] }
 // returns the assigned sequence number.
 func (l *Log) Append(node int, kind Kind, payload string) uint64 {
 	seq := uint64(l.Len()) + 1
-	l.entries = append(l.entries, Event{Seq: seq, Node: node, Kind: kind, Payload: payload})
+	e := Event{Seq: seq, Node: node, Kind: kind, Payload: payload}
+	l.entries = append(l.entries, e)
+	if kind == KindCirculation {
+		l.circ = append(l.circ, e)
+		l.lastCirc = seq
+	}
 	return seq
 }
 
@@ -100,6 +124,10 @@ func (l *Log) AppendEvent(e Event) error {
 		return fmt.Errorf("history: appending seq %d, want %d", e.Seq, want)
 	}
 	l.entries = append(l.entries, e)
+	if e.Kind == KindCirculation {
+		l.circ = append(l.circ, e)
+		l.lastCirc = e.Seq
+	}
 	return nil
 }
 
@@ -107,7 +135,12 @@ func (l *Log) AppendEvent(e Event) error {
 func (l *Log) Clone() *Log {
 	cp := make([]Event, len(l.entries))
 	copy(cp, l.entries)
-	return &Log{base: l.base, entries: cp}
+	var circ []Event
+	if len(l.circ) > 0 {
+		circ = make([]Event, len(l.circ))
+		copy(circ, l.circ)
+	}
+	return &Log{base: l.base, entries: cp, circ: circ, lastCirc: l.lastCirc}
 }
 
 // Events returns a copy of the retained events.
@@ -116,6 +149,11 @@ func (l *Log) Events() []Event {
 	copy(cp, l.entries)
 	return cp
 }
+
+// EventsView returns the retained events without copying. The returned
+// slice is a read-only view into the log: callers must not mutate it, and
+// it is invalidated by the next Append/AppendEvent/CompactTo.
+func (l *Log) EventsView() []Event { return l.entries }
 
 // CompactTo drops retained events with Seq ≤ seq, implementing the round
 // counter bounding. Compacting beyond the end is clamped.
@@ -129,6 +167,19 @@ func (l *Log) CompactTo(seq uint64) {
 	drop := int(seq - l.base)
 	l.entries = append([]Event(nil), l.entries[drop:]...)
 	l.base = seq
+	// Trim the cached projection to the retained region. lastCirc is a
+	// lineage property and survives compaction.
+	keep := 0
+	for keep < len(l.circ) && l.circ[keep].Seq <= seq {
+		keep++
+	}
+	if keep > 0 {
+		if keep == len(l.circ) {
+			l.circ = nil
+		} else {
+			l.circ = append([]Event(nil), l.circ[keep:]...)
+		}
+	}
 }
 
 // IsPrefixOf reports whether l ⊂ other: l's events are exactly the leading
@@ -156,17 +207,24 @@ func (l *Log) IsPrefixOf(other *Log) bool {
 	return true
 }
 
-// ProjectCirculation returns a new log containing only circulation events
-// (the ⊂_C projection). Sequence numbers are preserved.
+// ProjectCirculation returns the retained circulation events (the ⊂_C
+// projection) as an independent copy. Sequence numbers are preserved. The
+// projection is maintained incrementally on append, so this is a single
+// sized copy rather than a rescan of the whole log.
 func (l *Log) ProjectCirculation() []Event {
-	var out []Event
-	for _, e := range l.entries {
-		if e.Kind == KindCirculation {
-			out = append(out, e)
-		}
+	if len(l.circ) == 0 {
+		return nil
 	}
+	out := make([]Event, len(l.circ))
+	copy(out, l.circ)
 	return out
 }
+
+// CirculationView returns the retained circulation events without copying.
+// The returned slice is a read-only view into the log's cached projection:
+// callers must not mutate it, and it is invalidated by the next
+// Append/AppendEvent/CompactTo.
+func (l *Log) CirculationView() []Event { return l.circ }
 
 // PrefixC reports l ⊂_C other: the circulation projections are in prefix
 // relation, comparing by sequence numbers (sound under compaction for logs
@@ -182,13 +240,11 @@ func (l *Log) PrefixC(other *Log) bool {
 // paper's §4.4 round-counter optimization, and it is what the wire protocol
 // ships instead of whole histories.
 func (l *Log) LastCirculationSeq() uint64 {
-	for i := len(l.entries) - 1; i >= 0; i-- {
-		if l.entries[i].Kind == KindCirculation {
-			return l.entries[i].Seq
-		}
+	if l.lastCirc > l.base {
+		return l.lastCirc
 	}
-	// All retained events are data; a compacted region may still hold
-	// circulation events, but the base is a safe lower bound.
+	// The latest circulation event (if any) sits in the compacted
+	// region; the base is a safe lower bound.
 	return l.base
 }
 

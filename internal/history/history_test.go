@@ -160,6 +160,109 @@ func TestCloneIndependence(t *testing.T) {
 	}
 }
 
+// naiveProjection recomputes the circulation projection by scanning, as the
+// pre-cache implementation did — the oracle for the incremental cache.
+func naiveProjection(l *Log) []Event {
+	var out []Event
+	for i := 0; i < l.Live(); i++ {
+		if e := l.At(i); e.Kind == KindCirculation {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// naiveLastCirc recomputes LastCirculationSeq by backward scan.
+func naiveLastCirc(l *Log) uint64 {
+	for i := l.Live() - 1; i >= 0; i-- {
+		if e := l.At(i); e.Kind == KindCirculation {
+			return e.Seq
+		}
+	}
+	return l.Base()
+}
+
+func eventsEqual(a, b []Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: the incrementally maintained circulation cache always agrees
+// with a from-scratch scan, through any interleaving of appends, clones and
+// compactions.
+func TestQuickCirculationCacheConsistency(t *testing.T) {
+	f := func(kinds []bool, compactAt uint8) bool {
+		l := New()
+		for i, isCirc := range kinds {
+			k := KindData
+			if isCirc {
+				k = KindCirculation
+			}
+			l.Append(i%4, k, "p")
+			if !eventsEqual(l.ProjectCirculation(), naiveProjection(l)) {
+				return false
+			}
+		}
+		cl := l.Clone()
+		if l.Len() > 0 {
+			l.CompactTo(uint64(int(compactAt) % (l.Len() + 1)))
+		}
+		// Cache agrees after compaction, and on the untouched clone.
+		if !eventsEqual(l.ProjectCirculation(), naiveProjection(l)) {
+			return false
+		}
+		if !eventsEqual(cl.ProjectCirculation(), naiveProjection(cl)) {
+			return false
+		}
+		if l.LastCirculationSeq() != naiveLastCirc(l) {
+			return false
+		}
+		// Appending after compaction keeps the cache in sync.
+		l.Append(0, KindCirculation, "")
+		return eventsEqual(l.ProjectCirculation(), naiveProjection(l)) &&
+			l.LastCirculationSeq() == naiveLastCirc(l)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestViewsShareNoCopies pins the zero-copy contracts: views reflect the
+// log without allocation, while Events/ProjectCirculation return copies.
+func TestViewsShareNoCopies(t *testing.T) {
+	l := New()
+	l.Append(0, KindData, "x")
+	l.Append(1, KindCirculation, "")
+	ev := l.EventsView()
+	cv := l.CirculationView()
+	if len(ev) != 2 || len(cv) != 1 || cv[0].Seq != 2 {
+		t.Fatalf("views: events=%v circ=%v", ev, cv)
+	}
+	// Copies are independent; mutating them leaves the log intact.
+	pc := l.ProjectCirculation()
+	pc[0].Payload = "mutated"
+	if l.CirculationView()[0].Payload != "" {
+		t.Error("ProjectCirculation must return a copy")
+	}
+	// Clone's cache is independent of the original's.
+	cl := l.Clone()
+	cl.Append(2, KindCirculation, "")
+	if len(l.CirculationView()) != 1 || len(cl.CirculationView()) != 2 {
+		t.Errorf("clone cache not independent: %d, %d",
+			len(l.CirculationView()), len(cl.CirculationView()))
+	}
+	if l.LastCirculationSeq() != 2 || cl.LastCirculationSeq() != 3 {
+		t.Errorf("last circ: %d, %d", l.LastCirculationSeq(), cl.LastCirculationSeq())
+	}
+}
+
 // Property: any prefix slice of a log's events forms a log that IsPrefixOf
 // the original, and PrefixC agrees with projection comparison.
 func TestQuickPrefixSlices(t *testing.T) {

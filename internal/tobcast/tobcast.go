@@ -150,11 +150,22 @@ func (b *Broadcaster) Delivered() int {
 }
 
 // Log returns a snapshot of the delivered history — the node's local prefix
-// history in the paper's sense.
+// history in the paper's sense. The Clone here is load-bearing: the
+// snapshot escapes the mutex and must stay valid while deliveries keep
+// appending; callers that only need the round counter should use
+// LastCirculationSeq instead, which copies nothing.
 func (b *Broadcaster) Log() *history.Log {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.log.Clone()
+}
+
+// LastCirculationSeq returns the history's round counter (the ⊂_C
+// comparison key) without snapshotting the log.
+func (b *Broadcaster) LastCirculationSeq() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.log.LastCirculationSeq()
 }
 
 // Backlog returns how many out-of-order messages are buffered.

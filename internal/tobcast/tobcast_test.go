@@ -227,6 +227,10 @@ func TestCompactBoundsTheLog(t *testing.T) {
 	if bs[0].Log().Live() != 0 {
 		t.Error("negative retain should clamp")
 	}
+	// The copy-free round-counter read agrees with the snapshot's.
+	if got, want := bs[0].LastCirculationSeq(), bs[0].Log().LastCirculationSeq(); got != want {
+		t.Errorf("LastCirculationSeq = %d, snapshot says %d", got, want)
+	}
 }
 
 func TestNextSeqFallsBackToMaxSeen(t *testing.T) {
