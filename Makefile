@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-baseline vet check clean
+.PHONY: build test race bench bench-baseline vet check clean torture fuzz
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,21 @@ bench:
 bench-baseline: build
 	$(GO) run ./cmd/tokensim -exp fig9 -paper -parallel 4 -baseline \
 		-benchjson BENCH_baseline.json
+
+# Randomized fault-injection torture sweep: 9 seeds × 4 fault mixes ×
+# 3 variants = 108 scenarios, each asserting single-token safety, liveness
+# and (for the modeled configs) spec-trace conformance. Failures are shrunk
+# to minimal counterexamples and written under artifacts/ for -replay.
+# See EXPERIMENTS.md ("Torture harness").
+torture: build
+	$(GO) run ./cmd/tokensim -torture -artifact-dir artifacts
+
+# Short native-fuzzing smoke over the protocol state machines and the CSV
+# round-trip; CI runs the same targets.
+fuzz:
+	$(GO) test -run XXX -fuzz FuzzDirectedSearch -fuzztime 10s ./internal/protocol/
+	$(GO) test -run XXX -fuzz FuzzPushProbe -fuzztime 10s ./internal/protocol/
+	$(GO) test -run XXX -fuzz FuzzParseCSV -fuzztime 10s ./internal/bench/
 
 check: build vet test race
 

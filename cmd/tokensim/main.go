@@ -13,6 +13,11 @@
 //	tokensim -exp fig9 -paper -baseline -benchjson BENCH_baseline.json
 //	                                  # sequential-vs-parallel perf record
 //	tokensim -exp fig9 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	tokensim -torture                 # fault-injection sweep (see -torture-*)
+//	tokensim -torture -artifact-dir artifacts
+//	                                  # persist shrunk failure artifacts
+//	tokensim -replay artifacts/torture-ring-lossy-seed3.json
+//	                                  # re-run a recorded counterexample
 //
 // Runs are deterministic per seed at every parallelism level: each
 // simulation owns a private engine and RNG, so -parallel changes only wall
@@ -82,9 +87,26 @@ func run(args []string, out io.Writer) error {
 		benchjson  = fs.String("benchjson", "", "write a machine-readable benchmark record (JSON) to this file")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file")
+
+		tf tortureFlags
 	)
+	fs.BoolVar(&tf.enabled, "torture", false, "run the fault-injection torture sweep instead of an experiment")
+	fs.IntVar(&tf.seeds, "torture-seeds", 0, "torture seeds per variant×mix (0 = default 9)")
+	fs.IntVar(&tf.requests, "torture-requests", 0, "torture requests per scenario (0 = default)")
+	fs.IntVar(&tf.n, "torture-n", 0, "torture cluster size (0 = default)")
+	fs.StringVar(&tf.mixes, "torture-mix", "", "comma-separated fault mixes (default: all safe mixes)")
+	fs.StringVar(&tf.variants, "torture-variants", "", "comma-separated variants (default: ring,linear,binsearch)")
+	fs.StringVar(&tf.artifactDir, "artifact-dir", "", "write shrunk replayable failure artifacts here")
+	fs.StringVar(&tf.replay, "replay", "", "replay a failure artifact (JSON path) and verify it reproduces")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if tf.replay != "" {
+		return runReplay(tf.replay, out)
+	}
+	if tf.enabled {
+		return runTorture(tf, out)
 	}
 
 	if *list {

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunTortureSmoke runs a narrow torture sweep through the CLI and
+// checks the progress/summary surface.
+func TestRunTortureSmoke(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-torture", "-torture-seeds", "1",
+		"-torture-mix", "clean,lossy", "-torture-variants", "ring,binsearch",
+		"-torture-requests", "8"}, &sb)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "torture: 4 scenarios, 0 failures") {
+		t.Errorf("summary missing:\n%s", out)
+	}
+	if !strings.Contains(out, "ok   ring") || !strings.Contains(out, "ok   binsearch") {
+		t.Errorf("per-scenario lines missing:\n%s", out)
+	}
+}
+
+// TestRunTortureBadMix: an unknown mix fails with a diagnostic listing the
+// valid ones.
+func TestRunTortureBadMix(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-torture", "-torture-mix", "nope"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "unknown mix") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestRunReplayMissingArtifact: -replay of a nonexistent path fails cleanly.
+func TestRunReplayMissingArtifact(t *testing.T) {
+	var sb strings.Builder
+	path := filepath.Join(t.TempDir(), "nope.json")
+	if err := run([]string{"-replay", path}, &sb); err == nil {
+		t.Fatal("missing artifact accepted")
+	}
+}

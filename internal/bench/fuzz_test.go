@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCSV checks the Table.CSV/ParseCSV round trip on arbitrary
+// input: whatever ParseCSV accepts must re-encode and re-parse to the same
+// encoding (string comparison, so NaN/Inf cells — which ParseFloat accepts
+// — don't trip reflexivity). Run open-ended with
+// `go test -fuzz=FuzzParseCSV ./internal/bench`.
+func FuzzParseCSV(f *testing.F) {
+	f.Add("n,ring,binsearch\n4,1.5,2\n8,2.25,3\n")
+	f.Add("x\n")
+	f.Add("")
+	f.Add("load,resp\n0.1,NaN\n")
+	f.Add("n,a\n1,2\n3\n")
+	f.Add("n,a\n1e309,2\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		tbl, err := ParseCSV(s)
+		if err != nil {
+			return // rejected input is fine; it just must not panic
+		}
+		enc := tbl.CSV()
+		tbl2, err := ParseCSV(enc)
+		if err != nil {
+			t.Fatalf("re-parse of own encoding failed: %v\n%q", err, enc)
+		}
+		if got := tbl2.CSV(); got != enc {
+			t.Fatalf("round trip diverged:\n%q\nvs\n%q", got, enc)
+		}
+		if strings.Count(enc, "\n") != len(tbl.Points)+1 {
+			t.Fatalf("encoding has %d lines for %d points", strings.Count(enc, "\n"), len(tbl.Points))
+		}
+	})
+}

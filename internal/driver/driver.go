@@ -4,20 +4,28 @@
 // delay model, gathers responsiveness/wait/message/fairness metrics, and
 // continuously checks the single-token safety invariant.
 //
-// The driver can also drop "cheap" messages (searches, probes, replies)
-// with a configured probability — the paper's claim that such messages
+// Fault injection — cheap-message loss and duplication, delivery jitter,
+// node pause/resume — goes through internal/faults: a single code path with
+// its own deterministic RNG, so recorded fault schedules replay exactly.
+// The legacy DropCheap/DupCheap knobs are kept as sugar that builds a
+// faults.Plan internally. The paper's claim that cheap-message faults
 // affect only performance, never safety, is exercised by tests that run
-// with heavy cheap-message loss and verify every request is still served.
+// with heavy loss and verify every request is still served.
 package driver
 
 import (
 	"fmt"
 
+	"adaptivetoken/internal/faults"
 	"adaptivetoken/internal/metrics"
 	"adaptivetoken/internal/protocol"
 	"adaptivetoken/internal/sim"
 	"adaptivetoken/internal/workload"
 )
+
+// legacySalt derives the fault-injector seed from Options.Seed when the
+// legacy DropCheap/DupCheap knobs are used instead of an explicit injector.
+const legacySalt = 0x5bd1e995c3b7c0de
 
 // Options configures a simulation run.
 type Options struct {
@@ -30,11 +38,22 @@ type Options struct {
 	CSTime sim.Time
 	// DropCheap is the probability of dropping each cheap
 	// (non-correctness-bearing) message.
+	//
+	// Deprecated sugar: it builds a faults.Plan{Seed: Seed ^ legacySalt,
+	// DropCheap: DropCheap, DupCheap: DupCheap} internally. Mutually
+	// exclusive with Faults.
 	DropCheap float64
 	// DupCheap is the probability of duplicating each cheap message —
 	// cheap messages carry no delivery guarantees at all, including
-	// at-most-once.
+	// at-most-once. Same sugar as DropCheap.
 	DupCheap float64
+	// Faults is the fault injector for this run (policy or replay mode);
+	// nil means one is built from the legacy knobs above. The injector's
+	// pause windows are scheduled automatically.
+	Faults *faults.Injector
+	// Observer, if set, receives every state-machine step and injected
+	// fault (the conformance checker plugs in here).
+	Observer Observer
 	// TrackFairness enables the Theorem 3 possession accounting.
 	TrackFairness bool
 }
@@ -58,7 +77,11 @@ type Runner struct {
 	coalesced     int // requests skipped because the node was already pending or in CS
 	inFlightToken int
 	invariantErr  error
+	invariantOff  bool
 	dead          []bool
+	paused        []bool
+	held          [][]func() // per-node work queued while paused
+	faults        *faults.Injector
 }
 
 // New builds a cluster of cfg.N nodes and bootstraps the token at node 0.
@@ -77,7 +100,25 @@ func New(cfg protocol.Config, opts Options) (*Runner, error) {
 	if r.opts.Delay == nil {
 		r.opts.Delay = sim.ConstantDelay{D: 1}
 	}
+	if opts.Faults != nil {
+		if opts.DropCheap > 0 || opts.DupCheap > 0 {
+			return nil, fmt.Errorf("driver: Options.Faults and the legacy DropCheap/DupCheap knobs are mutually exclusive")
+		}
+		r.faults = opts.Faults
+	} else {
+		inj, err := faults.NewInjector(faults.Plan{
+			Seed:      opts.Seed ^ legacySalt,
+			DropCheap: opts.DropCheap,
+			DupCheap:  opts.DupCheap,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.faults = inj
+	}
 	r.dead = make([]bool, cfg.N)
+	r.paused = make([]bool, cfg.N)
+	r.held = make([][]func(), cfg.N)
 	r.nodes = make([]*protocol.Node, cfg.N)
 	for i := 0; i < cfg.N; i++ {
 		n, err := protocol.New(i, cfg)
@@ -88,9 +129,15 @@ func New(cfg protocol.Config, opts Options) (*Runner, error) {
 	}
 	// Bootstrap: node 0 starts with the token at time zero.
 	if err := r.eng.At(0, func() {
-		r.apply(0, r.nodes[0].GiveToken(0))
+		r.step(Step{At: 0, Kind: StepBootstrap, Node: 0}, r.nodes[0].GiveToken(0))
 	}); err != nil {
 		return nil, err
+	}
+	// The injector's pause windows.
+	for _, p := range r.faults.Pauses() {
+		if err := r.Pause(sim.Time(p.At), p.Node, sim.Time(p.Dur)); err != nil {
+			return nil, err
+		}
 	}
 	return r, nil
 }
@@ -115,6 +162,10 @@ func (r *Runner) Coalesced() int { return r.coalesced }
 // InvariantErr returns the first single-token invariant violation, if any.
 func (r *Runner) InvariantErr() error { return r.invariantErr }
 
+// FaultSchedule returns the replayable record of every fault decision the
+// run's injector has taken so far.
+func (r *Runner) FaultSchedule() faults.Schedule { return r.faults.Schedule() }
+
 // TokenCount returns live holders plus in-flight token messages; it must be
 // exactly 1 while no node has been killed.
 func (r *Runner) TokenCount() int {
@@ -138,11 +189,61 @@ func (r *Runner) Kill(at sim.Time, id int) error {
 	})
 }
 
+// Pause freezes node for [at, at+dur): deliveries, timers, requests and
+// releases targeting it queue up and drain, in order, at resume. Unlike
+// Kill, a paused node loses nothing — the single-token invariant stays
+// exact (a token stuck at a paused node still counts as in flight).
+func (r *Runner) Pause(at sim.Time, node int, dur sim.Time) error {
+	if node < 0 || node >= r.cfg.N {
+		return fmt.Errorf("driver: pause of node %d out of range", node)
+	}
+	if dur <= 0 {
+		return fmt.Errorf("driver: pause duration %d must be positive", dur)
+	}
+	if err := r.eng.At(at, func() {
+		if r.dead[node] || r.paused[node] {
+			return
+		}
+		r.paused[node] = true
+		r.emitFault(FaultEvent{At: r.eng.Now(), Kind: FaultPause, Node: node})
+	}); err != nil {
+		return err
+	}
+	return r.eng.At(at+dur, func() {
+		if !r.paused[node] {
+			return
+		}
+		r.paused[node] = false
+		r.emitFault(FaultEvent{At: r.eng.Now(), Kind: FaultResume, Node: node})
+		q := r.held[node]
+		r.held[node] = nil
+		for _, f := range q {
+			f()
+		}
+	})
+}
+
+// DisarmInvariant disables the single-token check for this run. Needed when
+// pause windows overlap a recovery timeout: regeneration while the holder
+// is merely paused (not dead) legitimately mints a second token.
+func (r *Runner) DisarmInvariant() { r.invariantOff = true }
+
+// heldWork reports whether any node is paused or has queued work — the run
+// is not quiescent until both clear.
+func (r *Runner) heldWork() bool {
+	for i := range r.paused {
+		if r.paused[i] || len(r.held[i]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // checkInvariant records the first violation of the single-token property.
 // The check is disabled once a node has been killed: a crash may take the
 // token with it, and recovery deliberately mints a replacement.
 func (r *Runner) checkInvariant() {
-	if r.invariantErr != nil {
+	if r.invariantErr != nil || r.invariantOff {
 		return
 	}
 	for _, d := range r.dead {
@@ -152,6 +253,22 @@ func (r *Runner) checkInvariant() {
 	}
 	if c := r.TokenCount(); c != 1 {
 		r.invariantErr = fmt.Errorf("driver: token count %d at t=%d", c, r.eng.Now())
+	}
+}
+
+// step reports one state-machine step to the observer, then applies its
+// effects (so fault events for the produced messages follow their step).
+func (r *Runner) step(s Step, e protocol.Effects) {
+	s.Effects = e
+	if r.opts.Observer != nil {
+		r.opts.Observer.OnStep(s)
+	}
+	r.apply(s.Node, e)
+}
+
+func (r *Runner) emitFault(f FaultEvent) {
+	if r.opts.Observer != nil {
+		r.opts.Observer.OnFault(f)
 	}
 }
 
@@ -166,56 +283,93 @@ func (r *Runner) apply(id int, e protocol.Effects) {
 	for _, tm := range e.Timers {
 		id, tm := id, tm
 		r.eng.After(sim.Time(tm.Delay), func() {
-			if r.dead[id] {
-				return
-			}
-			eff := r.nodes[id].HandleTimer(protocol.Time(r.eng.Now()), tm.Kind, tm.Gen)
-			r.apply(id, eff)
+			r.fireTimer(id, tm)
 		})
 	}
 	r.checkInvariant()
 }
 
-// dispatch sends one message through the delay model, applying cheap-loss
-// fault injection.
-func (r *Runner) dispatch(m protocol.Message) {
-	r.Msgs.Inc(m.Kind.String())
-	expensive := m.Kind.Expensive()
-	if !expensive && r.opts.DropCheap > 0 && r.eng.RNG().Float64() < r.opts.DropCheap {
-		r.Msgs.Inc("dropped")
+// fireTimer runs one timer at node id, queueing it if the node is paused.
+func (r *Runner) fireTimer(id int, tm protocol.Timer) {
+	if r.dead[id] {
 		return
 	}
-	if !expensive && r.opts.DupCheap > 0 && r.eng.RNG().Float64() < r.opts.DupCheap {
-		r.Msgs.Inc("duplicated")
-		r.deliver(m)
+	if r.paused[id] {
+		r.held[id] = append(r.held[id], func() { r.fireTimer(id, tm) })
+		return
 	}
-	r.deliver(m)
+	eff := r.nodes[id].HandleTimer(protocol.Time(r.eng.Now()), tm.Kind, tm.Gen)
+	r.step(Step{At: r.eng.Now(), Kind: StepTimer, Node: id, Timer: tm.Kind}, eff)
 }
 
-// deliver schedules one physical delivery of m. Only cheap messages are
-// ever duplicated, so in-flight token accounting stays exact.
-func (r *Runner) deliver(m protocol.Message) {
+// dispatch sends one message through the fault injector and the delay
+// model. All loss/duplication/jitter decisions — including the legacy
+// DropCheap/DupCheap knobs — go through the injector, one code path.
+func (r *Runner) dispatch(m protocol.Message) {
+	if r.invariantErr != nil {
+		// The run is already condemned; stop feeding the network so a
+		// duplicated token cannot multiply without bound.
+		return
+	}
+	r.Msgs.Inc(m.Kind.String())
+	expensive := m.Kind.Expensive()
+	v := r.faults.OnMessage(expensive)
+	if v.Drop {
+		r.Msgs.Inc("dropped")
+		r.emitFault(FaultEvent{At: r.eng.Now(), Kind: FaultDrop, Msg: m})
+		return
+	}
+	if v.Dup {
+		r.Msgs.Inc("duplicated")
+		r.emitFault(FaultEvent{At: r.eng.Now(), Kind: FaultDup, Msg: m, Delay: v.DupDelay})
+		r.deliver(m, v.DupDelay)
+	}
+	if v.Delay > 0 {
+		r.Msgs.Inc("delayed")
+		r.emitFault(FaultEvent{At: r.eng.Now(), Kind: FaultDelay, Msg: m, Delay: v.Delay})
+	}
+	r.deliver(m, v.Delay)
+}
+
+// deliver schedules one physical delivery of m after the model delay plus
+// extra fault jitter. Each physical delivery of a token-bearing message
+// counts toward inFlightToken — so an (unsafe) duplicated token drives
+// TokenCount to 2 and trips the invariant, and an (unsafe) dropped token
+// never increments it and trips the invariant at 0.
+func (r *Runner) deliver(m protocol.Message, extra sim.Time) {
 	expensive := m.Kind.Expensive()
 	if expensive {
 		r.inFlightToken++
 	}
-	delay := r.opts.Delay.Delay(r.eng.RNG(), m.From, m.To)
+	delay := r.opts.Delay.Delay(r.eng.RNG(), m.From, m.To) + extra
 	if delay < 1 {
 		delay = 1
 	}
 	r.eng.After(delay, func() {
-		if expensive {
-			r.inFlightToken--
-		}
-		if r.dead[m.To] || r.dead[m.From] {
-			return // crashed endpoints swallow traffic
-		}
-		if m.Kind == protocol.MsgToken && r.opts.TrackFairness {
-			r.Fair.Possessed(m.To)
-		}
-		eff := r.nodes[m.To].HandleMessage(protocol.Time(r.eng.Now()), m)
-		r.apply(m.To, eff)
+		r.arrive(m, expensive)
 	})
+}
+
+// arrive processes one physical delivery, queueing the whole arrival —
+// including the in-flight accounting — if the destination is paused, so a
+// token stuck at a paused node keeps counting as in flight.
+func (r *Runner) arrive(m protocol.Message, expensive bool) {
+	if r.paused[m.To] && !r.dead[m.To] {
+		r.held[m.To] = append(r.held[m.To], func() { r.arrive(m, expensive) })
+		return
+	}
+	if expensive {
+		r.inFlightToken--
+	}
+	if r.dead[m.To] || r.dead[m.From] {
+		return // crashed endpoints swallow traffic
+	}
+	if m.Kind == protocol.MsgToken && r.opts.TrackFairness {
+		r.Fair.Possessed(m.To)
+	}
+	eff := r.nodes[m.To].HandleMessage(protocol.Time(r.eng.Now()), m)
+	mc := m
+	r.step(Step{At: r.eng.Now(), Kind: StepDeliver, Node: m.To, Msg: &mc}, eff)
 }
 
 // onGranted updates metrics and schedules the release after the critical
@@ -230,31 +384,52 @@ func (r *Runner) onGranted(id int) {
 		r.Fair.Granted(id)
 	}
 	r.eng.After(r.opts.CSTime, func() {
-		eff := r.nodes[id].Release(protocol.Time(r.eng.Now()))
-		r.apply(id, eff)
+		r.doRelease(id)
 	})
+}
+
+// doRelease exits the critical section at node id, queueing if paused.
+func (r *Runner) doRelease(id int) {
+	if r.dead[id] {
+		return
+	}
+	if r.paused[id] {
+		r.held[id] = append(r.held[id], func() { r.doRelease(id) })
+		return
+	}
+	eff := r.nodes[id].Release(protocol.Time(r.eng.Now()))
+	r.step(Step{At: r.eng.Now(), Kind: StepRelease, Node: id}, eff)
 }
 
 // Request schedules a token request by node at absolute time at.
 func (r *Runner) Request(at sim.Time, node int) error {
 	return r.eng.At(at, func() {
-		if r.dead[node] {
-			return
-		}
-		n := r.nodes[node]
-		if n.Pending() || n.InCS() {
-			r.coalesced++
-			return // the one-outstanding throttle, host side
-		}
-		r.issued++
-		now := int64(r.eng.Now())
-		r.Resp.RequestArrived(now)
-		r.Waits.Requested(node, now)
-		if r.opts.TrackFairness {
-			r.Fair.Requested(node, now)
-		}
-		r.apply(node, n.Request(protocol.Time(now)))
+		r.doRequest(node)
 	})
+}
+
+// doRequest issues a token request at node, queueing if paused.
+func (r *Runner) doRequest(node int) {
+	if r.dead[node] {
+		return
+	}
+	if r.paused[node] {
+		r.held[node] = append(r.held[node], func() { r.doRequest(node) })
+		return
+	}
+	n := r.nodes[node]
+	if n.Pending() || n.InCS() {
+		r.coalesced++
+		return // the one-outstanding throttle, host side
+	}
+	r.issued++
+	now := int64(r.eng.Now())
+	r.Resp.RequestArrived(now)
+	r.Waits.Requested(node, now)
+	if r.opts.TrackFairness {
+		r.Fair.Requested(node, now)
+	}
+	r.step(Step{At: r.eng.Now(), Kind: StepRequest, Node: node}, n.Request(protocol.Time(now)))
 }
 
 // RunWorkload materializes count requests from gen, schedules them, and
@@ -281,7 +456,7 @@ func (r *Runner) RunWorkload(gen workload.Generator, count int, maxTime sim.Time
 		if r.invariantErr != nil {
 			return r.eng.Now(), r.invariantErr
 		}
-		if r.Waits.Outstanding() == 0 && r.eng.Now() >= reqs[len(reqs)-1].At {
+		if r.Waits.Outstanding() == 0 && r.eng.Now() >= reqs[len(reqs)-1].At && !r.heldWork() {
 			break
 		}
 	}
@@ -313,10 +488,7 @@ type Result struct {
 
 // Summarize collects the run's metrics.
 func (r *Runner) Summarize(end sim.Time) Result {
-	msgs := make(map[string]int64)
-	for _, k := range r.Msgs.Kinds() {
-		msgs[k] = r.Msgs.Get(k)
-	}
+	msgs := r.Msgs.Snapshot()
 	res := Result{
 		Variant:        r.cfg.Variant.String(),
 		N:              r.cfg.N,

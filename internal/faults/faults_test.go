@@ -1,0 +1,142 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPlanValidate(t *testing.T) {
+	if err := (Plan{DropCheap: 0.5, DupCheap: 0.1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Plan{DropCheap: 1.5}).Validate(); err == nil {
+		t.Fatal("out-of-range probability accepted")
+	}
+	if err := (Plan{DropToken: 0.1}).Validate(); err == nil {
+		t.Fatal("token loss without Unsafe accepted: safe-subset enforcement broken")
+	}
+	if err := (Plan{DupToken: 0.1}).Validate(); err == nil {
+		t.Fatal("token duplication without Unsafe accepted")
+	}
+	if err := (Plan{Unsafe: true, DupToken: 0.1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Plan{JitterProb: 0.5}).Validate(); err == nil {
+		t.Fatal("jitter probability without JitterMax accepted")
+	}
+	if err := (Plan{Pauses: []Pause{{Node: 0, At: 5, Dur: 0}}}).Validate(); err == nil {
+		t.Fatal("zero-duration pause accepted")
+	}
+}
+
+func TestPolicyDeterminism(t *testing.T) {
+	plan := Plan{Seed: 42, DropCheap: 0.3, DupCheap: 0.2, JitterProb: 0.25, JitterMax: 7}
+	run := func() ([]Verdict, Schedule) {
+		in, err := NewInjector(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var vs []Verdict
+		for i := 0; i < 500; i++ {
+			vs = append(vs, in.OnMessage(i%5 == 0))
+		}
+		return vs, in.Schedule()
+	}
+	v1, s1 := run()
+	v2, s2 := run()
+	if !reflect.DeepEqual(v1, v2) {
+		t.Fatal("same plan, same seed: verdicts differ")
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("same plan, same seed: schedules differ")
+	}
+	if len(s1.Actions) == 0 {
+		t.Fatal("no actions recorded at these probabilities")
+	}
+}
+
+// Replaying a recorded schedule reproduces the exact verdict stream without
+// drawing any randomness.
+func TestReplayReproducesVerdicts(t *testing.T) {
+	plan := Plan{Seed: 7, DropCheap: 0.25, DupCheap: 0.25, JitterProb: 0.2, JitterMax: 9}
+	in, err := NewInjector(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 400
+	want := make([]Verdict, 0, n)
+	for i := 0; i < n; i++ {
+		want = append(want, in.OnMessage(false))
+	}
+	rp := Replay(in.Schedule())
+	for i := 0; i < n; i++ {
+		if got := rp.OnMessage(false); !reflect.DeepEqual(got, want[i]) {
+			t.Fatalf("seq %d: replay %+v, policy %+v", i, got, want[i])
+		}
+	}
+}
+
+// The safe subset in action: a plan without Unsafe never touches expensive
+// messages, whatever the cheap probabilities.
+func TestExpensiveMessagesUntouchedBySafePlan(t *testing.T) {
+	in, err := NewInjector(Plan{Seed: 3, DropCheap: 1.0, DupCheap: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		v := in.OnMessage(true)
+		if v.Drop || v.Dup || v.Delay != 0 {
+			t.Fatalf("expensive message got verdict %+v under a safe plan", v)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if v := in.OnMessage(false); !v.Drop {
+			t.Fatal("DropCheap=1 must drop every cheap message")
+		}
+	}
+}
+
+func TestUnsafePlanHitsTokens(t *testing.T) {
+	in, err := NewInjector(Plan{Seed: 11, Unsafe: true, DupToken: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := in.OnMessage(true); !v.Dup {
+		t.Fatal("DupToken=1 must duplicate the token message")
+	}
+	if v := in.OnMessage(false); v.Dup || v.Drop {
+		t.Fatal("cheap message faulted by a token-only plan")
+	}
+	if in.Stats()["duplicated"] != 1 {
+		t.Fatalf("stats = %v, want duplicated=1", in.Stats())
+	}
+}
+
+// Removing a suffix of a schedule never changes the verdicts of the
+// remaining prefix: the property greedy shrinking relies on.
+func TestSchedulePrefixStability(t *testing.T) {
+	in, err := NewInjector(Plan{Seed: 99, DropCheap: 0.4, DupCheap: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 300
+	full := make([]Verdict, 0, n)
+	for i := 0; i < n; i++ {
+		full = append(full, in.OnMessage(false))
+	}
+	sched := in.Schedule()
+	if len(sched.Actions) < 4 {
+		t.Fatalf("too few actions (%d) to test shrinking", len(sched.Actions))
+	}
+	cut := sched.Actions[len(sched.Actions)/2]
+	trimmed := Schedule{Actions: sched.Actions[:len(sched.Actions)/2]}
+	rp := Replay(trimmed)
+	for i := 0; i < n; i++ {
+		got := rp.OnMessage(false)
+		if uint64(i) < cut.Seq {
+			if !reflect.DeepEqual(got, full[i]) {
+				t.Fatalf("seq %d before the cut diverged", i)
+			}
+		}
+	}
+}

@@ -197,6 +197,16 @@ func (m *Messages) Total() int64 {
 	return t
 }
 
+// Snapshot returns a copy of the per-kind counts, safe to retain and
+// mutate. Used by the driver's Summarize and the fault layer's stats.
+func (m *Messages) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(m.counts))
+	for k, v := range m.counts {
+		out[k] = v
+	}
+	return out
+}
+
 // Kinds returns the kinds seen, sorted.
 func (m *Messages) Kinds() []string {
 	out := make([]string, 0, len(m.counts))

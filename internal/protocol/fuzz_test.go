@@ -2,6 +2,107 @@ package protocol
 
 import "testing"
 
+// fuzzScript interprets an operation script against one node of the given
+// variant: each byte pair is an (op, arg) — request, release, a timer
+// firing, or a message delivery with fields derived from the argument.
+// Sequence-level fuzzing reaches interleavings single-shot delivery cannot
+// (a push probe answered mid-search, a recovery decide racing a grant). The
+// machine must never panic, never emit off-ring destinations or a forged
+// From, and never arm negative timers.
+func fuzzScript(t *testing.T, v Variant, script []byte) {
+	const n = 6
+	cfg := Config{
+		Variant: v, N: n,
+		ResearchTimeout: 50, PushWait: 3, RecoveryTimeout: 40,
+		TrapGC: GCRotation, MaxTraps: 4,
+	}
+	nd, err := New(2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timers := []TimerKind{TimerHold, TimerResearch, TimerPushRound, TimerRecovery, TimerRecoveryDecide}
+	kinds := []MsgKind{
+		MsgToken, MsgTokenReturn, MsgSearch, MsgWantQuery, MsgWantReply,
+		MsgRecoveryProbe, MsgRecoveryReply,
+	}
+	now := Time(1)
+	if len(script) > 0 && script[0]%2 == 0 {
+		nd.GiveToken(now)
+	}
+	for i := 0; i+1 < len(script); i += 2 {
+		op, arg := script[i], script[i+1]
+		now += Time(op%3) + 1
+		var eff Effects
+		switch op % 4 {
+		case 0:
+			eff = nd.Request(now)
+		case 1:
+			eff = nd.Release(now)
+		case 2:
+			eff = nd.HandleTimer(now, timers[int(arg)%len(timers)], uint64(arg>>3))
+		case 3:
+			eff = nd.HandleMessage(now, Message{
+				Kind:        kinds[int(arg)%len(kinds)],
+				From:        int(arg>>1) % n,
+				To:          2,
+				Round:       uint64(arg >> 2),
+				ReturnTo:    int(op>>2)%n - 1, // may be None (-1)
+				Requester:   int(arg>>3) % n,
+				ReqSeq:      uint64(op >> 4),
+				Window:      int(arg>>4) - 2, // may be negative or oversized
+				OriginStamp: uint64(op >> 5),
+				HasToken:    arg&1 == 1,
+				Want:        arg&2 == 2,
+				Epoch:       uint64(arg >> 6),
+			})
+		}
+		for _, m := range eff.Msgs {
+			if m.To < 0 || m.To >= n {
+				t.Fatalf("variant %s op %d: off-ring destination %d", v, i, m.To)
+			}
+			if m.From != 2 {
+				t.Fatalf("variant %s op %d: forged From %d", v, i, m.From)
+			}
+		}
+		for _, tm := range eff.Timers {
+			if tm.Delay < 0 {
+				t.Fatalf("variant %s op %d: negative timer %+v", v, i, tm)
+			}
+		}
+	}
+}
+
+// fuzzSeeds are operation scripts covering each op class and some known
+// interesting interleavings (request-then-stale-token, probe-then-grant).
+func fuzzSeeds(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x01})
+	f.Add([]byte{0x00, 0x00, 0x03, 0x0e, 0x01, 0x00})
+	f.Add([]byte{0x01, 0x05, 0x02, 0x11, 0x03, 0x42, 0x03, 0x43})
+	f.Add([]byte{0x03, 0x00, 0x03, 0x01, 0x02, 0x03, 0x00, 0x00, 0x03, 0xff})
+	f.Add([]byte{0x02, 0x18, 0x02, 0x19, 0x03, 0x83, 0x01, 0x00, 0x00, 0x00})
+}
+
+// FuzzDirectedSearch sequence-fuzzes the DirectedSearch state machine (the
+// §4.4 directed-probe ablation), whose probe cursor has state the other
+// variants lack.
+func FuzzDirectedSearch(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, script []byte) {
+		fuzzScript(t, DirectedSearch, script)
+	})
+}
+
+// FuzzPushProbe sequence-fuzzes the PushProbe state machine, whose
+// want-query/want-reply round trip and push-round timer interleave with
+// grants in ways a single delivery cannot exercise.
+func FuzzPushProbe(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, script []byte) {
+		fuzzScript(t, PushProbe, script)
+	})
+}
+
 // FuzzHandleMessage feeds arbitrary message fields to a node under every
 // variant. The state machine must never panic, never emit off-ring
 // destinations, and never forge a From other than itself. Run with

@@ -1,0 +1,50 @@
+package sim
+
+import "testing"
+
+// JitterDelay adds at most Max on top of the base delay, never subtracts,
+// and with Max spanning several base delays actually reorders messages
+// sent back to back (what the torture harness relies on).
+func TestJitterDelayBoundsAndReordering(t *testing.T) {
+	rng := NewRNG(11)
+	j := JitterDelay{Base: ConstantDelay{D: 2}, Max: 6}
+	seen := map[Time]bool{}
+	reordered := false
+	prev := Time(-1)
+	for i := 0; i < 2_000; i++ {
+		d := j.Delay(rng, 0, 1)
+		if d < 2 || d > 8 {
+			t.Fatalf("delay %d outside [2, 8]", d)
+		}
+		seen[d] = true
+		// Two sends one tick apart swap iff the first's delay exceeds the
+		// second's by more than the tick.
+		if prev >= 0 && prev > d+1 {
+			reordered = true
+		}
+		prev = d
+	}
+	for want := Time(2); want <= 8; want++ {
+		if !seen[want] {
+			t.Errorf("delay %d never drawn", want)
+		}
+	}
+	if !reordered {
+		t.Error("no reordering across 2000 back-to-back sends")
+	}
+}
+
+// A zero Max is the identity wrapper and draws no randomness, so wrapping
+// cannot perturb a seeded run.
+func TestJitterDelayZeroMaxDrawsNothing(t *testing.T) {
+	a, b := NewRNG(3), NewRNG(3)
+	j := JitterDelay{Base: ConstantDelay{D: 5}}
+	for i := 0; i < 100; i++ {
+		if d := j.Delay(a, 1, 2); d != 5 {
+			t.Fatalf("delay %d, want 5", d)
+		}
+	}
+	if a.Intn(1_000_000) != b.Intn(1_000_000) {
+		t.Error("zero-jitter wrapper consumed randomness")
+	}
+}

@@ -1,0 +1,129 @@
+package spec
+
+import (
+	"fmt"
+
+	"adaptivetoken/internal/trs"
+)
+
+// Shape introspection for the conformance checker (internal/conformance):
+// the checker replays a protocol execution through a lossy spec system and
+// after every step compares the spec state's in-flight messages — projected
+// onto round-counter shapes — against the simulator's in-flight messages.
+
+// Message kind names as they appear in MsgShape.Kind.
+const (
+	ShapeToken  = labelToken  // regular token
+	ShapeReturn = labelReturn // decorated (use-once-and-return) token
+	ShapeSearch = labelSearch // gimme / search
+)
+
+// MsgShape is the round-counter projection of one in-flight spec message:
+// histories collapse to their circulation-event count, exactly the
+// compaction the implementation's Round/OriginStamp fields perform.
+type MsgShape struct {
+	To, From int
+	Kind     string
+	// Circ is the circulation count of the carried history: the token's
+	// Round for tok/ret, the requester's OriginStamp for srch.
+	Circ int
+	// Window is the gimme's hop window n (bin only; 0 otherwise).
+	Window int
+	// Requester is the gimme's requester z (-1 for token kinds).
+	Requester int
+}
+
+func (s MsgShape) String() string {
+	if s.Kind == ShapeSearch {
+		return fmt.Sprintf("%s{%d->%d circ=%d win=%d z=%d}", s.Kind, s.From, s.To, s.Circ, s.Window, s.Requester)
+	}
+	return fmt.Sprintf("%s{%d->%d circ=%d}", s.Kind, s.From, s.To, s.Circ)
+}
+
+// CircCount returns the number of circulation events in h.
+func CircCount(h trs.Seq) int {
+	_, circ := countEvents(h)
+	return circ
+}
+
+// Shapes projects every in-flight message (the I and O fields) of a
+// distributed spec state onto its MsgShape.
+func Shapes(state trs.Term) ([]MsgShape, error) {
+	tp, ok := state.(trs.Tuple)
+	if !ok || tp.Len() < 5 {
+		return nil, fmt.Errorf("spec: not a distributed state: %v", state)
+	}
+	var shapes []MsgShape
+	for _, field := range []int{3, 4} {
+		bag, ok := tp.At(field).(trs.Bag)
+		if !ok {
+			return nil, fmt.Errorf("spec: field %d is not a bag", field)
+		}
+		for i := 0; i < bag.Len(); i++ {
+			sh, err := EntryShape(bag.At(i))
+			if err != nil {
+				return nil, err
+			}
+			shapes = append(shapes, sh)
+		}
+	}
+	return shapes, nil
+}
+
+// EntryShape projects one I/O bag entry (dest, (src, payload)) onto its
+// MsgShape. (I entries are (dest, (sender, m)); O entries are
+// (sender, (dest, m)) — the caller picks the field meaning; Shapes only
+// calls this on I entries after transit-normalizing, plus O entries which
+// by then are gone, so the first component is always the destination.)
+func EntryShape(entry trs.Term) (MsgShape, error) {
+	tp, ok := entry.(trs.Tuple)
+	if !ok || tp.Len() != 2 {
+		return MsgShape{}, fmt.Errorf("spec: malformed message entry %v", entry)
+	}
+	inner, ok := tp.At(1).(trs.Tuple)
+	if !ok || inner.Len() != 2 {
+		return MsgShape{}, fmt.Errorf("spec: malformed message entry %v", entry)
+	}
+	dest, ok := tp.At(0).(trs.Int)
+	if !ok {
+		return MsgShape{}, fmt.Errorf("spec: non-integer destination in %v", entry)
+	}
+	src, ok := inner.At(0).(trs.Int)
+	if !ok {
+		return MsgShape{}, fmt.Errorf("spec: non-integer source in %v", entry)
+	}
+	payload, ok := inner.At(1).(trs.Tuple)
+	if !ok {
+		return MsgShape{}, fmt.Errorf("spec: malformed payload in %v", entry)
+	}
+	sh := MsgShape{To: int(dest), From: int(src), Requester: -1}
+	switch payload.Label() {
+	case labelToken, labelReturn:
+		if payload.Len() != 1 {
+			return MsgShape{}, fmt.Errorf("spec: malformed token payload %v", payload)
+		}
+		h, ok := payload.At(0).(trs.Seq)
+		if !ok {
+			return MsgShape{}, fmt.Errorf("spec: token without history in %v", payload)
+		}
+		sh.Kind = payload.Label()
+		sh.Circ = CircCount(h)
+	case labelSearch:
+		if payload.Len() != 3 {
+			return MsgShape{}, fmt.Errorf("spec: malformed gimme payload %v", payload)
+		}
+		n, ok1 := payload.At(0).(trs.Int)
+		hz, ok2 := payload.At(1).(trs.Seq)
+		z, ok3 := payload.At(2).(trs.Int)
+		if !ok1 || !ok2 || !ok3 {
+			return MsgShape{}, fmt.Errorf("spec: malformed gimme payload %v", payload)
+		}
+		sh.Kind = ShapeSearch
+		sh.Window = int(n)
+		sh.Circ = CircCount(hz)
+		sh.Requester = int(z)
+	default:
+		return MsgShape{}, fmt.Errorf("spec: unknown payload kind %q", payload.Label())
+	}
+	return sh, nil
+}

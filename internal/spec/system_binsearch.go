@@ -151,10 +151,17 @@ func ruleBinForward(p Params) trs.Rule {
 // decorated token, appends its data, and immediately sends the token back
 // to the sender. The token remains logically in transit (T stays ⊥).
 func ruleBinUseAndReturn() trs.Rule {
+	return ruleUseAndReturn(labelBin)
+}
+
+// ruleUseAndReturn is rule 8 parametrized over the state label, so the
+// fault-extended Search variant (which also delivers decorated tokens, like
+// the executable LinearSearch implementation) can share it.
+func ruleUseAndReturn(label string) trs.Rule {
 	newHist := appendedHistory("H", "dx")
 	return trs.Rule{
 		Name: "8",
-		LHS: trs.LTup(labelBin,
+		LHS: trs.LTup(label,
 			bagWith("Q", "x", "dx"),
 			bagWith("P", "px", "hx"),
 			trs.Lit(bottom),
@@ -166,7 +173,7 @@ func ruleBinUseAndReturn() trs.Rule {
 			return trs.Equal(b.MustGet("rx"), b.MustGet("x")) &&
 				trs.Equal(b.MustGet("px"), b.MustGet("x"))
 		},
-		RHS: trs.LTup(labelBin,
+		RHS: trs.LTup(label,
 			restPlusReset("Q", "x"),
 			restPlusPair("P", "px", newHist),
 			trs.Lit(bottom),

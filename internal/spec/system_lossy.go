@@ -1,0 +1,246 @@
+package spec
+
+import "adaptivetoken/internal/trs"
+
+// Fault-extended ("lossy") variants of the Search and BinarySearch systems.
+// They model the executable protocol under the §4.4 fault assumption — cheap
+// messages (gimmes) may be lost or duplicated, token-bearing messages may
+// not — plus two deliberate relaxations that make them exact models of the
+// implementation in internal/protocol rather than of the throttled paper
+// figures:
+//
+//   - rule 5r replaces rule 5: a ready node may (re-)issue a gimme at any
+//     time, without trapping itself. The implementation re-searches on a
+//     research timeout and never self-traps (rotation serves the requester
+//     directly); the one-outstanding throttle of rule 5 was only ever a
+//     finitization device. 5r carries the requester's local history in the
+//     gimme for both variants, matching the implementation's OriginStamp.
+//   - rule L removes one in-flight gimme (cheap loss), rule D duplicates
+//     one (cheap duplication). Both leave Q, P, T and every token-bearing
+//     message untouched, so they are stutters under AbsDistToS1 — which is
+//     precisely the paper's claim that losing cheap messages cannot violate
+//     safety.
+//
+// Both lossy systems deliver the token decorated (rule 7 with ret, rule 8
+// returning it), because the implementation always uses the return-to-sender
+// handoff, even for LinearSearch. The conformance checker
+// (internal/conformance) replays driver traces against these systems; the
+// bounded exploration and the LossyChain refinement below justify trusting
+// them as the spec side of that check.
+
+// LossyBounds finitizes the lossy systems for exhaustive exploration. The
+// conformance checker uses CheckerBounds (effectively unbounded) instead.
+type LossyBounds struct {
+	// MaxOutstanding bounds the gimmes rule 5r may have in flight per
+	// requester (rule 5's one-outstanding throttle, made tunable).
+	MaxOutstanding int
+	// MaxSearchMsgs bounds the total in-flight gimmes rule D may grow to.
+	MaxSearchMsgs int
+}
+
+// CheckerBounds effectively disables the finitization bounds; trace replay
+// follows one execution, so it needs no state-space cap.
+func CheckerBounds() LossyBounds {
+	return LossyBounds{MaxOutstanding: 1 << 30, MaxSearchMsgs: 1 << 30}
+}
+
+// NewSystemSearchLossy is System Search under the fault assumption, with the
+// decorated handoff the implementation uses (rules 7-decorated and 8).
+func NewSystemSearchLossy(p Params, lb LossyBounds) trs.System {
+	return trs.System{
+		Name: "SearchLossy",
+		Init: trs.NewTuple(labelSrch,
+			initQ(p.N), initP(p.N), node(0),
+			trs.EmptyBag(), trs.EmptyBag(), trs.EmptyBag()),
+		Rules: []trs.Rule{
+			ruleNewDataDist(p, labelSrch, 6),
+			transitRule(labelSrch, []string{"Q", "P", "t"}, []string{"W"}),
+			ruleSearchReceiveToken(labelSrch),
+			ruleSearchPass(p, labelSrch),
+			ruleSearchInitiateRelaxed(p, labelSrch, 1, 0, lb.MaxOutstanding),
+			ruleSearchForward(p),
+			ruleSearchDeliver(labelSrch, true),
+			ruleUseAndReturn(labelSrch),
+			ruleCheapLoss(labelSrch),
+			ruleCheapDup(labelSrch, lb.MaxSearchMsgs),
+		},
+	}
+}
+
+// NewSystemBinarySearchLossy is System BinarySearch under the fault
+// assumption.
+func NewSystemBinarySearchLossy(p Params, lb LossyBounds) trs.System {
+	half := (p.N + 1) / 2
+	return trs.System{
+		Name: "BinarySearchLossy",
+		Init: trs.NewTuple(labelBin,
+			initQ(p.N), initP(p.N), node(0),
+			trs.EmptyBag(), trs.EmptyBag(), trs.EmptyBag()),
+		Rules: []trs.Rule{
+			ruleNewDataDist(p, labelBin, 6),
+			transitRule(labelBin, []string{"Q", "P", "t"}, []string{"W"}),
+			ruleBinReceiveToken(),
+			ruleBinPass(p),
+			ruleSearchInitiateRelaxed(p, labelBin, half, half, lb.MaxOutstanding),
+			ruleBinForward(p),
+			ruleSearchDeliver(labelBin, true),
+			ruleUseAndReturn(labelBin),
+			ruleCheapLoss(labelBin),
+			ruleCheapDup(labelBin, lb.MaxSearchMsgs),
+		},
+	}
+}
+
+// countSearchesFor counts in-flight/outbound gimmes on behalf of z.
+func countSearchesFor(inOut trs.Bag, z trs.Term) int {
+	n := 0
+	for i := 0; i < inOut.Len(); i++ {
+		entry, ok := inOut.At(i).(trs.Tuple)
+		if !ok || entry.Len() != 2 {
+			continue
+		}
+		inner, ok := entry.At(1).(trs.Tuple)
+		if !ok || inner.Len() != 2 {
+			continue
+		}
+		payload, ok := inner.At(1).(trs.Tuple)
+		if !ok || payload.Label() != labelSearch || payload.Len() != 3 {
+			continue
+		}
+		if trs.Equal(payload.At(2), z) {
+			n++
+		}
+	}
+	return n
+}
+
+// countSearches counts all in-flight gimmes in a bag.
+func countSearches(inOut trs.Bag) int {
+	n := 0
+	for i := 0; i < inOut.Len(); i++ {
+		entry, ok := inOut.At(i).(trs.Tuple)
+		if !ok || entry.Len() != 2 {
+			continue
+		}
+		inner, ok := entry.At(1).(trs.Tuple)
+		if !ok || inner.Len() != 2 {
+			continue
+		}
+		payload, ok := inner.At(1).(trs.Tuple)
+		if ok && payload.Label() == labelSearch && payload.Len() == 3 {
+			n++
+		}
+	}
+	return n
+}
+
+// ruleSearchInitiateRelaxed is rule 5r: a ready node x sends a gimme to
+// succ(x, hop) carrying window winInit and its local history, without
+// trapping itself and without the one-outstanding throttle (bounded only by
+// maxOutstanding for finite exploration). Under AbsDistToS1 it is a stutter:
+// Q and P are unchanged and the gimme's history H_x is already present in P,
+// so the abstract maximal history cannot grow.
+func ruleSearchInitiateRelaxed(p Params, label string, hop, winInit, maxOutstanding int) trs.Rule {
+	return trs.Rule{
+		Name: "5r",
+		LHS: trs.LTup(label,
+			bagWith("Q", "x", "dx"),
+			bagWith("P", "px", "H"),
+			trs.V("t"),
+			trs.V("I"),
+			trs.V("O"),
+			trs.V("W"),
+		),
+		Guard: func(b trs.Binding) bool {
+			if !trs.Equal(b.MustGet("px"), b.MustGet("x")) {
+				return false
+			}
+			if b.Seq("dx").Len() == 0 {
+				return false // only ready nodes search
+			}
+			x := b.MustGet("x")
+			return countSearchesFor(b.Bag("I"), x)+countSearchesFor(b.Bag("O"), x) < maxOutstanding
+		},
+		RHS: trs.LTup(label,
+			trs.BagOf("Q", pairPat("x", "dx")),
+			trs.BagOf("P", pairPat("px", "H")),
+			trs.V("t"),
+			trs.V("I"),
+			trs.Compute("O|(x,(x+hop,gimme))", func(b trs.Binding) trs.Term {
+				x := b.Int("x")
+				msg := searchMsg(trs.Int(winInit), b.Seq("H"), b.MustGet("x"))
+				return b.Bag("O").Add(outEntry(b.MustGet("x"), succ(x, hop, p.N), msg))
+			}),
+			trs.V("W"),
+		),
+	}
+}
+
+// ruleCheapLoss is rule L: one in-flight gimme vanishes. A stutter under
+// AbsDistToS1 (a gimme's history is never the unique maximum: its source
+// keeps an equal-or-longer copy in P).
+func ruleCheapLoss(label string) trs.Rule {
+	return trs.Rule{
+		Name: "L",
+		LHS: trs.LTup(label,
+			trs.V("Q"),
+			trs.V("P"),
+			trs.V("t"),
+			trs.BagOf("I", trs.Tup(trs.V("rx"), trs.Tup(trs.V("y"), trs.LTup(labelSearch, trs.V("n"), trs.V("Hz"), trs.V("z"))))),
+			trs.V("O"),
+			trs.V("W"),
+		),
+		RHS: trs.LTup(label,
+			trs.V("Q"),
+			trs.V("P"),
+			trs.V("t"),
+			trs.V("I"), // rest only: the matched gimme is gone
+			trs.V("O"),
+			trs.V("W"),
+		),
+	}
+}
+
+// ruleCheapDup is rule D: one in-flight gimme is duplicated, bounded by
+// maxSearchMsgs total gimmes for finite exploration. Also a stutter.
+func ruleCheapDup(label string, maxSearchMsgs int) trs.Rule {
+	return trs.Rule{
+		Name: "D",
+		LHS: trs.LTup(label,
+			trs.V("Q"),
+			trs.V("P"),
+			trs.V("t"),
+			trs.BagOf("I", trs.Tup(trs.V("rx"), trs.Tup(trs.V("y"), trs.LTup(labelSearch, trs.V("n"), trs.V("Hz"), trs.V("z"))))),
+			trs.V("O"),
+			trs.V("W"),
+		),
+		Guard: func(b trs.Binding) bool {
+			return countSearches(b.Bag("I")) < maxSearchMsgs
+		},
+		RHS: trs.LTup(label,
+			trs.V("Q"),
+			trs.V("P"),
+			trs.V("t"),
+			trs.Compute("I|dup", func(b trs.Binding) trs.Term {
+				msg := searchMsg(b.Int("n"), b.Seq("Hz"), b.MustGet("z"))
+				entry := trs.Pair(b.MustGet("rx"), trs.Pair(b.MustGet("y"), msg))
+				return b.Bag("I").Add(entry).Add(entry)
+			}),
+			trs.V("O"),
+			trs.V("W"),
+		),
+	}
+}
+
+// LossyChain returns the refinement links for the lossy systems: both map
+// onto S1 under the same abstraction as their fault-free counterparts, which
+// is the formal content of "cheap loss and duplication preserve safety".
+func LossyChain(p Params, lb LossyBounds) []RefinementCheck {
+	s1 := NewSystemS1(p)
+	return []RefinementCheck{
+		{Name: "SearchLossy⊑S1", Concrete: NewSystemSearchLossy(p, lb), Abstract: s1,
+			Abs: AbsDistToS1(labelSrch), MaxAbstractSteps: 2},
+		{Name: "BinarySearchLossy⊑S1", Concrete: NewSystemBinarySearchLossy(p, lb), Abstract: s1,
+			Abs: AbsDistToS1(labelBin), MaxAbstractSteps: 2},
+	}
+}

@@ -1,0 +1,74 @@
+package torture
+
+import "adaptivetoken/internal/faults"
+
+// Shrink greedily minimizes a failure's fault schedule while the violation
+// still reproduces — ddmin over the recorded actions. The injector keys
+// every action by the global dispatch sequence number and removing an
+// action never disturbs the alignment of the ones before it, so any subset
+// of a recorded schedule is itself a valid deterministic scenario; the
+// shrinker just keeps the subsets that still fail. The pause windows are
+// dropped wholesale at the end if the failure survives without them.
+func Shrink(f Failure) Failure {
+	fails := func(actions []faults.Action, pauses []faults.Pause) (string, bool) {
+		sched := faults.Schedule{Actions: actions, Pauses: pauses}
+		rep := Run(f.Scenario, &sched)
+		if rep.Err != nil {
+			return rep.Err.Error(), true
+		}
+		return "", false
+	}
+
+	actions := f.Schedule.Actions
+	pauses := f.Schedule.Pauses
+
+	// Fast path: the failure may not depend on the fault actions at all.
+	if msg, bad := fails(nil, pauses); bad {
+		actions = nil
+		f.Err = msg
+	}
+
+	// ddmin: remove complement chunks, halving granularity on progress.
+	n := 2
+	for len(actions) >= 2 && n <= len(actions) {
+		chunk := (len(actions) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(actions); start += chunk {
+			end := start + chunk
+			if end > len(actions) {
+				end = len(actions)
+			}
+			cand := make([]faults.Action, 0, len(actions)-(end-start))
+			cand = append(cand, actions[:start]...)
+			cand = append(cand, actions[end:]...)
+			if msg, bad := fails(cand, pauses); bad {
+				actions = cand
+				f.Err = msg
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(actions) {
+				break
+			}
+			n *= 2
+			if n > len(actions) {
+				n = len(actions)
+			}
+		}
+	}
+
+	if len(pauses) > 0 {
+		if msg, bad := fails(actions, nil); bad {
+			pauses = nil
+			f.Err = msg
+		}
+	}
+
+	f.Schedule = faults.Schedule{Actions: actions, Pauses: pauses}
+	return f
+}

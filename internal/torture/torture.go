@@ -1,0 +1,375 @@
+// Package torture is the randomized fault-injection explorer: it sweeps
+// seeds × fault mixes × protocol variants, asserting on every run that
+//
+//   - the single-token safety invariant holds (driver check),
+//   - every issued request is eventually served (liveness), and
+//   - for the spec-modeled configurations, the execution trace is included
+//     in the corresponding TRS system (internal/conformance).
+//
+// A failing scenario is captured as a replayable artifact — the scenario
+// parameters plus the recorded fault schedule — and greedily shrunk to a
+// minimal counterexample before being written out (artifact.go, shrink.go).
+package torture
+
+import (
+	"fmt"
+	"sort"
+
+	"adaptivetoken/internal/conformance"
+	"adaptivetoken/internal/driver"
+	"adaptivetoken/internal/faults"
+	"adaptivetoken/internal/protocol"
+	"adaptivetoken/internal/sim"
+	"adaptivetoken/internal/workload"
+)
+
+// planSalt decorrelates the fault injector's RNG from the scenario seed
+// (which also drives the engine and workload RNGs).
+const planSalt = 0x9e3779b97f4a7c15
+
+// Scenario fully specifies one torture run; together with the recorded
+// fault schedule it is a replayable counterexample.
+type Scenario struct {
+	Variant  string  `json:"variant"` // "ring", "linear" or "binsearch"
+	Mix      string  `json:"mix"`     // named fault mix, see Mixes
+	N        int     `json:"n"`
+	Requests int     `json:"requests"`
+	Seed     uint64  `json:"seed"`
+	MeanGap  float64 `json:"mean_gap"`
+	CSTime   int64   `json:"cs_time"`
+	MaxTime  int64   `json:"max_time"`
+}
+
+// withDefaults fills unset workload parameters.
+func (sc Scenario) withDefaults() Scenario {
+	if sc.N == 0 {
+		sc.N = 6
+	}
+	if sc.Requests == 0 {
+		sc.Requests = 16
+	}
+	if sc.MeanGap == 0 {
+		sc.MeanGap = 25
+	}
+	if sc.CSTime == 0 {
+		sc.CSTime = 2
+	}
+	if sc.MaxTime == 0 {
+		sc.MaxTime = 30_000
+	}
+	return sc
+}
+
+// Mix is a named fault policy plus the checks it is compatible with.
+type Mix struct {
+	Name string
+	// Conformance runs the spec trace checker (requires a modeled config:
+	// GCNone, no recovery).
+	Conformance bool
+	// Crash kills one node and enables the §5 recovery extension; the
+	// config is then outside the spec systems, so only safety (token
+	// count) and liveness of the surviving nodes are checked.
+	Crash bool
+	// Expected-to-fail mixes (the planted bugs) are excluded from sweeps.
+	Unsafe bool
+	// Plan derives the deterministic fault policy from the scenario.
+	Plan func(sc Scenario) faults.Plan
+}
+
+// mixes is the registry of named fault mixes.
+var mixes = map[string]Mix{
+	"clean": {
+		Name: "clean", Conformance: true,
+		Plan: func(sc Scenario) faults.Plan {
+			return faults.Plan{Seed: sc.Seed ^ planSalt}
+		},
+	},
+	"lossy": {
+		Name: "lossy", Conformance: true,
+		Plan: func(sc Scenario) faults.Plan {
+			return faults.Plan{
+				Seed:      sc.Seed ^ planSalt,
+				DropCheap: 0.3, DupCheap: 0.2,
+				JitterProb: 0.15, JitterMax: 4,
+			}
+		},
+	},
+	"pause": {
+		Name: "pause", Conformance: true,
+		Plan: func(sc Scenario) faults.Plan {
+			// One seed-derived freeze window; deliveries and timers at
+			// the node queue up and drain at resume.
+			return faults.Plan{
+				Seed: sc.Seed ^ planSalt,
+				Pauses: []faults.Pause{{
+					Node: int(sc.Seed % uint64(sc.N)),
+					At:   int64(2 + sc.Seed%40),
+					Dur:  int64(60 + sc.Seed%120),
+				}},
+				JitterProb: 0.1, JitterMax: 3,
+			}
+		},
+	},
+	"crash": {
+		Name: "crash", Crash: true,
+		Plan: func(sc Scenario) faults.Plan {
+			return faults.Plan{Seed: sc.Seed ^ planSalt}
+		},
+	},
+	// token-dup-bug breaks the §4.4 safe subset on purpose: it duplicates
+	// token-bearing messages, which no checker should let pass. It exists
+	// so the harness can prove it catches, shrinks and replays a real
+	// safety bug; sweeps never include it.
+	"token-dup-bug": {
+		Name: "token-dup-bug", Unsafe: true,
+		Plan: func(sc Scenario) faults.Plan {
+			return faults.Plan{Seed: sc.Seed ^ planSalt, Unsafe: true, DupToken: 0.3}
+		},
+	},
+}
+
+// MixNames returns all registered mix names, sorted.
+func MixNames() []string {
+	out := make([]string, 0, len(mixes))
+	for name := range mixes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SweepMixes are the safe mixes a sweep runs by default.
+func SweepMixes() []string { return []string{"clean", "lossy", "pause", "crash"} }
+
+// SweepVariants are the spec-modeled variants a sweep runs by default.
+func SweepVariants() []string { return []string{"ring", "linear", "binsearch"} }
+
+// parseVariant maps a scenario variant name to the protocol constant.
+func parseVariant(s string) (protocol.Variant, error) {
+	for _, v := range []protocol.Variant{
+		protocol.RingToken, protocol.LinearSearch, protocol.BinarySearch,
+		protocol.DirectedSearch, protocol.PushProbe, protocol.Combined,
+	} {
+		if v.String() == s {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("torture: unknown variant %q", s)
+}
+
+// configFor builds the protocol configuration a scenario runs under.
+func configFor(sc Scenario, mix Mix) (protocol.Config, error) {
+	v, err := parseVariant(sc.Variant)
+	if err != nil {
+		return protocol.Config{}, err
+	}
+	cfg := protocol.Config{Variant: v, N: sc.N, HoldIdle: 3}
+	if v != protocol.RingToken {
+		cfg.ResearchTimeout = 150
+	}
+	if mix.Crash {
+		cfg.RecoveryTimeout = 150
+	}
+	return cfg, nil
+}
+
+// Report is the outcome of one torture run.
+type Report struct {
+	Scenario Scenario
+	Grants   int
+	Steps    int // conformance-checked steps (0 when the checker is off)
+	Schedule faults.Schedule
+	Err      error
+}
+
+// Run executes one scenario. With replay nil the fault policy of the
+// scenario's mix decides (and records) every fault; with a schedule, the
+// recorded decisions are applied verbatim and no randomness is drawn —
+// the mechanism behind artifact replay and counterexample shrinking.
+func Run(sc Scenario, replay *faults.Schedule) Report {
+	sc = sc.withDefaults()
+	rep := Report{Scenario: sc}
+	mix, ok := mixes[sc.Mix]
+	if !ok {
+		rep.Err = fmt.Errorf("torture: unknown mix %q (have %v)", sc.Mix, MixNames())
+		return rep
+	}
+	cfg, err := configFor(sc, mix)
+	if err != nil {
+		rep.Err = err
+		return rep
+	}
+
+	var inj *faults.Injector
+	if replay != nil {
+		inj = faults.Replay(*replay)
+		rep.Schedule = *replay
+	} else {
+		inj, err = faults.NewInjector(mix.Plan(sc))
+		if err != nil {
+			rep.Err = err
+			return rep
+		}
+	}
+
+	opts := driver.Options{Seed: sc.Seed, CSTime: sim.Time(sc.CSTime), Faults: inj}
+	var chk *conformance.Checker
+	if mix.Conformance {
+		chk, err = conformance.New(cfg)
+		if err != nil {
+			rep.Err = err
+			return rep
+		}
+		opts.Observer = chk
+	}
+	r, err := driver.New(cfg, opts)
+	if err != nil {
+		rep.Err = err
+		return rep
+	}
+
+	if mix.Crash {
+		err = runCrash(r, sc)
+	} else {
+		_, err = r.RunWorkload(workload.Poisson{N: sc.N, MeanGap: sc.MeanGap},
+			sc.Requests, sim.Time(sc.MaxTime))
+	}
+	rep.Grants = r.Grants()
+	if replay == nil {
+		rep.Schedule = r.FaultSchedule()
+	}
+
+	switch {
+	case err != nil:
+		rep.Err = err
+	case r.InvariantErr() != nil:
+		rep.Err = r.InvariantErr()
+	case chk != nil:
+		if cerr := chk.Finish(); cerr != nil {
+			rep.Err = fmt.Errorf("torture: conformance: %w", cerr)
+		}
+		rep.Steps = chk.Steps()
+	}
+	return rep
+}
+
+// runCrash drives a crash-mix scenario: one seed-derived victim dies early,
+// requests from the other nodes must all still be served (via the §5
+// recovery extension if the token dies with the victim), and at most one
+// token may remain once the run settles.
+func runCrash(r *driver.Runner, sc Scenario) error {
+	victim := 1 + int(sc.Seed%uint64(sc.N-1)) // never node 0 (the bootstrapper)
+	killAt := sim.Time(10 + sc.Seed%30)
+	if err := r.Kill(killAt, victim); err != nil {
+		return err
+	}
+	rng := sim.NewRNG(sc.Seed ^ 0xa5a5a5a5a5a5a5a5)
+	reqs := workload.Take(workload.Poisson{N: sc.N, MeanGap: sc.MeanGap}, rng, sc.Requests)
+	var lastAt sim.Time
+	issued := 0
+	for _, q := range reqs {
+		if q.Node == victim {
+			continue // the dead node never asks
+		}
+		if err := r.Request(q.At, q.Node); err != nil {
+			return err
+		}
+		issued++
+		lastAt = q.At
+	}
+	maxTime := sim.Time(sc.MaxTime)
+	for r.Engine().Now() < maxTime {
+		next := r.Engine().Now() + 5_000
+		if next > maxTime {
+			next = maxTime
+		}
+		r.Engine().RunUntil(next)
+		if r.Waits.Outstanding() == 0 && r.Engine().Now() >= lastAt {
+			break
+		}
+	}
+	if out := r.Waits.Outstanding(); out > 0 {
+		return fmt.Errorf("torture: crash mix: %d of %d live requests unserved at t=%d",
+			out, issued, r.Engine().Now())
+	}
+	if c := r.TokenCount(); c > 1 {
+		return fmt.Errorf("torture: crash mix: %d tokens after settling", c)
+	}
+	return nil
+}
+
+// SweepConfig parameterizes a sweep; zero values select the defaults.
+type SweepConfig struct {
+	Variants []string // default SweepVariants()
+	Mixes    []string // default SweepMixes()
+	Seeds    int      // seeds per variant×mix, default 9 (3×4×9 = 108 scenarios)
+	N        int
+	Requests int
+	// ArtifactDir, when set, receives a shrunk replayable artifact per
+	// failing scenario.
+	ArtifactDir string
+}
+
+// SweepResult summarizes a sweep.
+type SweepResult struct {
+	Scenarios int
+	Failures  []Failure
+	Artifacts []string
+}
+
+// Sweep explores seeds × mixes × variants, collecting (and, with an
+// artifact directory, shrinking and persisting) every failure. logf, when
+// non-nil, receives one progress line per scenario.
+func Sweep(cfg SweepConfig, logf func(format string, a ...any)) (SweepResult, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if len(cfg.Variants) == 0 {
+		cfg.Variants = SweepVariants()
+	}
+	if len(cfg.Mixes) == 0 {
+		cfg.Mixes = SweepMixes()
+	}
+	if cfg.Seeds == 0 {
+		cfg.Seeds = 9
+	}
+	var res SweepResult
+	for _, mixName := range cfg.Mixes {
+		mix, ok := mixes[mixName]
+		if !ok {
+			return res, fmt.Errorf("torture: unknown mix %q (have %v)", mixName, MixNames())
+		}
+		if mix.Unsafe {
+			return res, fmt.Errorf("torture: mix %q is a planted bug; sweeps only run safe mixes", mixName)
+		}
+		for _, variant := range cfg.Variants {
+			for seed := uint64(1); seed <= uint64(cfg.Seeds); seed++ {
+				sc := Scenario{
+					Variant: variant, Mix: mixName, Seed: seed,
+					N: cfg.N, Requests: cfg.Requests,
+				}
+				rep := Run(sc, nil)
+				res.Scenarios++
+				if rep.Err == nil {
+					logf("ok   %-9s %-6s seed=%-3d grants=%d steps=%d",
+						variant, mixName, seed, rep.Grants, rep.Steps)
+					continue
+				}
+				logf("FAIL %-9s %-6s seed=%-3d: %v", variant, mixName, seed, rep.Err)
+				f := Failure{Scenario: rep.Scenario, Schedule: rep.Schedule, Err: rep.Err.Error()}
+				if cfg.ArtifactDir != "" {
+					f = Shrink(f)
+					path, werr := WriteArtifact(cfg.ArtifactDir, f)
+					if werr != nil {
+						return res, werr
+					}
+					logf("     shrunk to %d fault actions, artifact: %s",
+						len(f.Schedule.Actions), path)
+					res.Artifacts = append(res.Artifacts, path)
+				}
+				res.Failures = append(res.Failures, f)
+			}
+		}
+	}
+	return res, nil
+}
