@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-baseline vet check clean torture fuzz
+.PHONY: build test race bench bench-baseline vet check clean torture fuzz smoke-live
 
 build:
 	$(GO) build ./...
@@ -8,11 +8,14 @@ build:
 test:
 	$(GO) test ./...
 
-# The experiment harness is concurrent since the parallel runner landed;
-# the race target is the cheap way to prove the fan-out stays data-race
-# free (the equivalence tests prove it stays deterministic).
+# Everything concurrent goes under the race detector: the experiment
+# fan-out, the wall-clock host (node runtimes + live clusters), and the
+# live torture scenarios. Equivalence tests prove the fan-out stays
+# deterministic; this proves it stays data-race free.
 race:
-	$(GO) test -race ./internal/bench/... ./cmd/tokensim/...
+	$(GO) test -race ./internal/bench/... ./internal/node/... \
+		./internal/core/... ./internal/torture/... \
+		./cmd/tokensim/... ./cmd/ringnode/...
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +38,13 @@ bench-baseline: build
 # See EXPERIMENTS.md ("Torture harness").
 torture: build
 	$(GO) run ./cmd/tokensim -torture -artifact-dir artifacts
+
+# Live TCP smoke: boot three ringnode processes on loopback, each taking
+# the distributed lock once and publishing one totally ordered message,
+# then exit cleanly. Exercises the real transport end to end — the same
+# host layer the simulator drives, but on wall clocks and sockets.
+smoke-live: build
+	./scripts/smoke-live.sh
 
 # Short native-fuzzing smoke over the protocol state machines and the CSV
 # round-trip; CI runs the same targets.

@@ -14,6 +14,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,8 +22,33 @@ import (
 	"time"
 
 	"adaptivetoken/internal/core"
+	"adaptivetoken/internal/faults"
+	"adaptivetoken/internal/host"
 	"adaptivetoken/internal/tobcast"
 )
+
+// traceObserver logs every state-machine step and injected fault of this
+// node's host to stderr — the live counterpart of the simulator's trace
+// output, attached with -observe.
+type traceObserver struct {
+	id int
+}
+
+func (o traceObserver) OnStep(s host.Step) {
+	switch s.Kind {
+	case host.StepDeliver:
+		fmt.Fprintf(os.Stderr, "[node %d] t=%-6d %-9s %s from %d\n",
+			o.id, s.At, s.Kind, s.Msg.Kind, s.Msg.From)
+	case host.StepTimer:
+		fmt.Fprintf(os.Stderr, "[node %d] t=%-6d %-9s %v\n", o.id, s.At, s.Kind, s.Timer)
+	default:
+		fmt.Fprintf(os.Stderr, "[node %d] t=%-6d %-9s\n", o.id, s.At, s.Kind)
+	}
+}
+
+func (o traceObserver) OnFault(f host.FaultEvent) {
+	fmt.Fprintf(os.Stderr, "[node %d] t=%-6d FAULT %-6s %s\n", o.id, f.At, f.Kind, f.Msg.Kind)
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -40,6 +66,8 @@ func run(args []string) error {
 		pubs    = fs.Int("pubs", 3, "totally ordered messages to publish")
 		wait    = fs.Duration("wait", 3*time.Second, "settle time before and after the workload")
 		timeout = fs.Duration("timeout", 60*time.Second, "per-operation timeout")
+		observe = fs.Bool("observe", false, "log every protocol step and fault to stderr")
+		faultsJ = fs.String("faults", "", "fault plan as JSON (e.g. '{\"seed\":7,\"drop_cheap\":0.2}'); pauses are simulation-only")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,7 +77,19 @@ func run(args []string) error {
 		return fmt.Errorf("need -peers with ≥2 addresses and -id within range")
 	}
 
-	ln, err := core.NewLiveNode(*id, addrs, *id == 0)
+	var opts []core.Option
+	if *faultsJ != "" {
+		var plan faults.Plan
+		if err := json.Unmarshal([]byte(*faultsJ), &plan); err != nil {
+			return fmt.Errorf("-faults: %w", err)
+		}
+		opts = append(opts, core.WithFaults(plan))
+	}
+	if *observe {
+		opts = append(opts, core.WithObserver(traceObserver{id: *id}))
+	}
+
+	ln, err := core.NewLiveNode(*id, addrs, *id == 0, opts...)
 	if err != nil {
 		return err
 	}

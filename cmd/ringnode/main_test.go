@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -60,6 +61,43 @@ func TestThreeNodeRingEndToEnd(t *testing.T) {
 	}
 }
 
+// TestThreeNodeRingWithFaultsAndObserver re-runs the ring with a lossy
+// fault plan injected via -faults and step tracing via -observe: the
+// protocol's own timeouts must repair the injected loss end to end.
+func TestThreeNodeRingWithFaultsAndObserver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up a real TCP ring")
+	}
+	addrs := freePorts(t, 3)
+	peers := addrs[0] + "," + addrs[1] + "," + addrs[2]
+
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for id := 0; id < 3; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[id] = run([]string{
+				"-id", fmt.Sprint(id),
+				"-peers", peers,
+				"-locks", "1",
+				"-pubs", "1",
+				"-wait", "600ms",
+				"-timeout", "30s",
+				"-observe",
+				"-faults", fmt.Sprintf(`{"seed":%d,"drop_cheap":0.1,"jitter_prob":0.2,"jitter_max":2}`, 40+id),
+			})
+		}()
+	}
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			t.Errorf("node %d: %v", id, err)
+		}
+	}
+}
+
 func TestRunArgValidation(t *testing.T) {
 	if err := run([]string{"-peers", "onlyone:1"}); err == nil {
 		t.Error("single peer must fail")
@@ -69,5 +107,15 @@ func TestRunArgValidation(t *testing.T) {
 	}
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Error("bad flag must fail")
+	}
+	if err := run([]string{"-peers", "a:1,b:2", "-faults", "{not json"}); err == nil {
+		t.Error("malformed -faults must fail")
+	}
+	// Pause faults need simulated time; the live path must reject them
+	// before it ever touches the network.
+	err := run([]string{"-peers", "a:1,b:2", "-faults",
+		`{"pauses":[{"node":0,"at":1,"dur":5}]}`})
+	if err == nil || !strings.Contains(err.Error(), "pauses") {
+		t.Errorf("pause plan accepted: %v", err)
 	}
 }

@@ -44,6 +44,23 @@ func runTorture(tf tortureFlags, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+
+	// With the default mix/variant selection, also sweep the live scenario
+	// family: the same protocols on real concurrent runtimes over the
+	// channel transport, conformance-checked through the shared host layer.
+	if tf.mixes == "" && tf.variants == "" {
+		liveCfg := cfg
+		liveCfg.Mixes = torture.SweepLiveMixes()
+		liveCfg.Variants = torture.SweepLiveVariants()
+		liveRes, err := torture.Sweep(liveCfg, logf)
+		if err != nil {
+			return err
+		}
+		res.Scenarios += liveRes.Scenarios
+		res.Failures = append(res.Failures, liveRes.Failures...)
+		res.Artifacts = append(res.Artifacts, liveRes.Artifacts...)
+	}
+
 	fmt.Fprintf(out, "torture: %d scenarios, %d failures\n", res.Scenarios, len(res.Failures))
 	for _, p := range res.Artifacts {
 		fmt.Fprintf(out, "torture: replay with -replay %s\n", p)

@@ -25,6 +25,25 @@ func TestRunTortureSmoke(t *testing.T) {
 	}
 }
 
+// TestRunTortureLiveSmoke sweeps the live scenario family — real
+// concurrent runtimes over the channel transport — through the CLI.
+func TestRunTortureLiveSmoke(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-torture", "-torture-seeds", "1",
+		"-torture-mix", "live-clean,live-lossy", "-torture-variants", "linear",
+		"-torture-requests", "6"}, &sb)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "torture: 2 scenarios, 0 failures") {
+		t.Errorf("summary missing:\n%s", out)
+	}
+	if !strings.Contains(out, "ok   linear") {
+		t.Errorf("per-scenario lines missing:\n%s", out)
+	}
+}
+
 // TestRunTortureBadMix: an unknown mix fails with a diagnostic listing the
 // valid ones.
 func TestRunTortureBadMix(t *testing.T) {

@@ -665,6 +665,53 @@ func TailLatency(opts Options) (Table, error) {
 	return t, nil
 }
 
+// ResponsivenessTails reports responsiveness percentiles (Definition 3
+// intervals, not per-request waits): how long the system leaves SOME node
+// waiting, at the median and in the tail, across the load sweep. The
+// paper's Figures 9–10 plot only the mean; the p95/p99 spread shows
+// whether the binary search's O(log n) advantage survives at the tail.
+func ResponsivenessTails(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	const n = 100
+	gaps := []float64{10, 50, 500}
+	variants := []protocol.Variant{protocol.RingToken, protocol.BinarySearch}
+	t := Table{
+		Name:   "Responsiveness tails — Definition 3 percentiles (n=100)",
+		XLabel: "mean-gap",
+		Series: []string{
+			"ring-p50", "ring-p95", "ring-p99",
+			"binsearch-p50", "binsearch-p95", "binsearch-p99",
+		},
+	}
+	jobs := make([]Job, 0, len(gaps)*len(variants))
+	for _, gap := range gaps {
+		for _, v := range variants {
+			jobs = append(jobs, Job{Cfg: figureConfig(v, n), Gen: workload.Poisson{N: n, MeanGap: gap}})
+		}
+	}
+	res, err := opts.runner().RunJobs(opts, jobs)
+	if err != nil {
+		return t, err
+	}
+	k := 0
+	for _, gap := range gaps {
+		p := Point{X: gap, Y: map[string]float64{}}
+		for _, v := range variants {
+			r := res[k]
+			k++
+			label := "ring"
+			if v == protocol.BinarySearch {
+				label = "binsearch"
+			}
+			p.Y[label+"-p50"] = r.Responsiveness.P50
+			p.Y[label+"-p95"] = r.Responsiveness.P95
+			p.Y[label+"-p99"] = r.Responsiveness.P99
+		}
+		t.Points = append(t.Points, p)
+	}
+	return t, nil
+}
+
 // MessageCost sweeps n under light load and reports the cheap (search)
 // message cost per request against Lemma 6's log₂n bound, plus the token
 // messages each delivery costs.
@@ -714,6 +761,7 @@ func All(opts Options) (map[string]Table, error) {
 		{"saturation", Saturation},
 		{"jitter", DelaySensitivity},
 		{"tails", TailLatency},
+		{"resptails", ResponsivenessTails},
 		{"msgcost", MessageCost},
 	}
 	out := make(map[string]Table, len(runs))
@@ -752,6 +800,8 @@ func Lookup(id string) (func(Options) (Table, error), bool) {
 		return DelaySensitivity, true
 	case "tails":
 		return TailLatency, true
+	case "resptails":
+		return ResponsivenessTails, true
 	case "msgcost":
 		return MessageCost, true
 	default:
@@ -761,5 +811,5 @@ func Lookup(id string) (func(Options) (Table, error), bool) {
 
 // IDs lists the experiment identifiers.
 func IDs() []string {
-	return []string{"fig9", "fig10", "directed", "trapgc", "speed", "push", "throttle", "fairness", "saturation", "jitter", "tails", "msgcost"}
+	return []string{"fig9", "fig10", "directed", "trapgc", "speed", "push", "throttle", "fairness", "saturation", "jitter", "tails", "resptails", "msgcost"}
 }

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"time"
 
+	"adaptivetoken/internal/faults"
+	"adaptivetoken/internal/host"
 	"adaptivetoken/internal/mutex"
 	"adaptivetoken/internal/node"
 	"adaptivetoken/internal/protocol"
@@ -31,7 +33,8 @@ type settings struct {
 	cfg      protocol.Config
 	seed     uint64
 	timeUnit time.Duration
-	faults   transport.Faults
+	plan     faults.Plan
+	observer host.Observer
 }
 
 // WithVariant selects the protocol variant (default BinarySearch).
@@ -70,7 +73,8 @@ func WithRecovery(d protocol.Time) Option {
 	return func(s *settings) { s.cfg.RecoveryTimeout = d }
 }
 
-// WithSeed seeds the transport's fault-injection randomness.
+// WithSeed seeds the fault plan's randomness when the plan does not carry
+// its own seed.
 func WithSeed(seed uint64) Option {
 	return func(s *settings) { s.seed = seed }
 }
@@ -81,9 +85,20 @@ func WithTimeUnit(d time.Duration) Option {
 	return func(s *settings) { s.timeUnit = d }
 }
 
-// WithFaults configures transport fault injection (in-process clusters).
-func WithFaults(f transport.Faults) Option {
-	return func(s *settings) { s.faults = f }
+// WithFaults injects faults from the plan into every node's dispatch path.
+// All nodes draw from one shared, dispatch-sequence-keyed injector, so the
+// recorded schedule (see Cluster.FaultSchedule) replays like a simulated
+// one. Pause windows need simulated time and are rejected here.
+func WithFaults(p faults.Plan) Option {
+	return func(s *settings) { s.plan = p }
+}
+
+// WithObserver attaches o to every node's host: it receives each
+// state-machine step and injected fault across the whole cluster,
+// serialized through one mutex (wrap not required). This is how the
+// conformance checker and metrics attach to live runs.
+func WithObserver(o host.Observer) Option {
+	return func(s *settings) { s.observer = o }
 }
 
 // Cluster is an in-process ring of live nodes over a channel network —
@@ -92,6 +107,7 @@ func WithFaults(f transport.Faults) Option {
 type Cluster struct {
 	cfg      protocol.Config
 	net      *transport.ChannelNetwork
+	faults   *faults.Shared
 	runtimes []*node.Runtime
 	mutexes  []*mutex.Mutex
 	bcasts   []*tobcast.Broadcaster
@@ -119,18 +135,27 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 		return nil, err
 	}
 
-	net, err := transport.NewChannelNetwork(n, s.seed)
+	shared, obs, err := liveInstrumentation(s)
 	if err != nil {
 		return nil, err
 	}
-	net.SetFaults(s.faults)
+
+	net, err := transport.NewChannelNetwork(n)
+	if err != nil {
+		return nil, err
+	}
 
 	c := &Cluster{
 		cfg:      s.cfg,
 		net:      net,
+		faults:   shared,
 		runtimes: make([]*node.Runtime, n),
 		mutexes:  make([]*mutex.Mutex, n),
 		bcasts:   make([]*tobcast.Broadcaster, n),
+	}
+	ropts := []node.Option{node.WithFaults(shared)}
+	if obs != nil {
+		ropts = append(ropts, node.WithObserver(obs))
 	}
 	for i := 0; i < n; i++ {
 		p, err := protocol.New(i, s.cfg)
@@ -138,7 +163,7 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 			net.Close()
 			return nil, err
 		}
-		rt, err := node.NewRuntime(p, net.Endpoint(i), s.timeUnit)
+		rt, err := node.NewRuntime(p, net.Endpoint(i), s.timeUnit, ropts...)
 		if err != nil {
 			net.Close()
 			return nil, err
@@ -150,6 +175,27 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 	}
 	c.runtimes[0].Bootstrap()
 	return c, nil
+}
+
+// liveInstrumentation builds the shared fault injector and (optionally)
+// mutex-serialized observer a set of concurrent live runtimes attaches to.
+func liveInstrumentation(s settings) (*faults.Shared, host.Observer, error) {
+	plan := s.plan
+	if plan.Seed == 0 {
+		plan.Seed = s.seed
+	}
+	if len(plan.Pauses) > 0 {
+		return nil, nil, fmt.Errorf("core: fault pauses need simulated time; use the simulation driver")
+	}
+	inj, err := faults.NewInjector(plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	var obs host.Observer
+	if s.observer != nil {
+		obs = host.NewSyncObserver(s.observer)
+	}
+	return faults.Share(inj), obs, nil
 }
 
 // N returns the ring size.
@@ -189,8 +235,17 @@ func (c *Cluster) WaitDelivered(ctx context.Context, total int) error {
 	}
 }
 
-// Network exposes the underlying channel network for fault injection.
+// Network exposes the underlying channel network for topology faults
+// (severed links, partitions).
 func (c *Cluster) Network() *transport.ChannelNetwork { return c.net }
+
+// FaultSchedule returns the replayable record of every fault decision the
+// cluster's shared injector has taken so far, keyed by global dispatch
+// sequence.
+func (c *Cluster) FaultSchedule() faults.Schedule { return c.faults.Schedule() }
+
+// FaultStats returns the shared injector's fault counters.
+func (c *Cluster) FaultStats() map[string]int64 { return c.faults.Stats() }
 
 // Close shuts the whole cluster down.
 func (c *Cluster) Close() error {
@@ -232,6 +287,10 @@ func NewLiveNode(id int, addrs []string, bootstrap bool, opts ...Option) (*LiveN
 	if err := s.cfg.Validate(); err != nil {
 		return nil, err
 	}
+	shared, obs, err := liveInstrumentation(s)
+	if err != nil {
+		return nil, err
+	}
 	tcp, err := transport.NewTCP(id, addrs)
 	if err != nil {
 		return nil, err
@@ -241,7 +300,11 @@ func NewLiveNode(id int, addrs []string, bootstrap bool, opts ...Option) (*LiveN
 		tcp.Close()
 		return nil, err
 	}
-	rt, err := node.NewRuntime(p, tcp, s.timeUnit)
+	ropts := []node.Option{node.WithFaults(shared)}
+	if obs != nil {
+		ropts = append(ropts, node.WithObserver(obs))
+	}
+	rt, err := node.NewRuntime(p, tcp, s.timeUnit, ropts...)
 	if err != nil {
 		tcp.Close()
 		return nil, err

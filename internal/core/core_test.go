@@ -7,8 +7,8 @@ import (
 	"testing"
 	"time"
 
+	"adaptivetoken/internal/faults"
 	"adaptivetoken/internal/protocol"
-	"adaptivetoken/internal/transport"
 )
 
 func newCluster(t *testing.T, n int, opts ...Option) *Cluster {
@@ -147,7 +147,7 @@ func TestClusterTotalOrderBroadcast(t *testing.T) {
 func TestClusterSurvivesCheapLoss(t *testing.T) {
 	c := newCluster(t, 4,
 		WithSeed(11),
-		WithFaults(transport.Faults{DropCheap: 0.7}),
+		WithFaults(faults.Plan{DropCheap: 0.7}),
 		WithResearchTimeout(50),
 	)
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)

@@ -4,6 +4,12 @@
 // delay model, gathers responsiveness/wait/message/fairness metrics, and
 // continuously checks the single-token safety invariant.
 //
+// Effect interpretation — dispatching messages through the fault injector,
+// arming timers, granting, notifying the observer — lives in internal/host;
+// the driver is the host-over-sim-clock adapter. It contributes what is
+// specific to simulation: the delay model, pause/kill windows, workload
+// scheduling, metrics collection and the single-token invariant.
+//
 // Fault injection — cheap-message loss and duplication, delivery jitter,
 // node pause/resume — goes through internal/faults: a single code path with
 // its own deterministic RNG, so recorded fault schedules replay exactly.
@@ -17,6 +23,7 @@ import (
 	"fmt"
 
 	"adaptivetoken/internal/faults"
+	"adaptivetoken/internal/host"
 	"adaptivetoken/internal/metrics"
 	"adaptivetoken/internal/protocol"
 	"adaptivetoken/internal/sim"
@@ -65,6 +72,7 @@ type Runner struct {
 
 	eng   *sim.Engine
 	nodes []*protocol.Node
+	host  *host.Host
 
 	// Metrics.
 	Resp  metrics.Responsiveness
@@ -127,9 +135,28 @@ func New(cfg protocol.Config, opts Options) (*Runner, error) {
 		}
 		r.nodes[i] = n
 	}
+	h, err := host.New(host.Config{
+		Clock:    host.SimClock{Eng: r.eng},
+		Network:  simNetwork{r},
+		Faults:   r.faults,
+		Observer: opts.Observer,
+		Msgs:     r.Msgs,
+		Machine:  func(id int) *protocol.Node { return r.nodes[id] },
+		Hooks: host.Hooks{
+			Granted:     r.onGranted,
+			TimerGate:   r.timerGate,
+			DeliverGate: r.deliverGate,
+			Applied:     func(int) { r.checkInvariant() },
+			Condemned:   func() bool { return r.invariantErr != nil },
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.host = h
 	// Bootstrap: node 0 starts with the token at time zero.
 	if err := r.eng.At(0, func() {
-		r.step(Step{At: 0, Kind: StepBootstrap, Node: 0}, r.nodes[0].GiveToken(0))
+		r.host.Step(Step{At: 0, Kind: StepBootstrap, Node: 0}, r.nodes[0].GiveToken(0))
 	}); err != nil {
 		return nil, err
 	}
@@ -140,6 +167,61 @@ func New(cfg protocol.Config, opts Options) (*Runner, error) {
 		}
 	}
 	return r, nil
+}
+
+// simNetwork is the driver's Network: deliveries cost the delay model plus
+// fault jitter and land back in the host via the event heap. Each physical
+// delivery of a token-bearing message counts toward inFlightToken — so an
+// (unsafe) duplicated token drives TokenCount to 2 and trips the invariant,
+// and an (unsafe) dropped token never increments it and trips the invariant
+// at 0.
+type simNetwork struct{ r *Runner }
+
+// Deliver implements host.Network.
+func (n simNetwork) Deliver(m protocol.Message, extra sim.Time) {
+	r := n.r
+	if m.Kind.Expensive() {
+		r.inFlightToken++
+	}
+	delay := r.opts.Delay.Delay(r.eng.RNG(), m.From, m.To) + extra
+	if delay < 1 {
+		delay = 1
+	}
+	r.eng.After(delay, func() {
+		r.host.Arrive(m)
+	})
+}
+
+// deliverGate queues the whole arrival — including the in-flight
+// accounting — if the destination is paused, so a token stuck at a paused
+// node keeps counting as in flight. Crashed endpoints swallow traffic.
+func (r *Runner) deliverGate(m protocol.Message, retry func()) bool {
+	if r.paused[m.To] && !r.dead[m.To] {
+		r.held[m.To] = append(r.held[m.To], retry)
+		return false
+	}
+	if m.Kind.Expensive() {
+		r.inFlightToken--
+	}
+	if r.dead[m.To] || r.dead[m.From] {
+		return false
+	}
+	if m.Kind == protocol.MsgToken && r.opts.TrackFairness {
+		r.Fair.Possessed(m.To)
+	}
+	return true
+}
+
+// timerGate drops timers at dead nodes and queues them at paused ones.
+func (r *Runner) timerGate(id int, retry func()) bool {
+	if r.dead[id] {
+		return false
+	}
+	if r.paused[id] {
+		r.held[id] = append(r.held[id], retry)
+		return false
+	}
+	return true
 }
 
 // Engine exposes the simulation engine (for tests and custom schedules).
@@ -205,7 +287,7 @@ func (r *Runner) Pause(at sim.Time, node int, dur sim.Time) error {
 			return
 		}
 		r.paused[node] = true
-		r.emitFault(FaultEvent{At: r.eng.Now(), Kind: FaultPause, Node: node})
+		r.host.EmitFault(FaultEvent{At: r.eng.Now(), Kind: FaultPause, Node: node})
 	}); err != nil {
 		return err
 	}
@@ -214,7 +296,7 @@ func (r *Runner) Pause(at sim.Time, node int, dur sim.Time) error {
 			return
 		}
 		r.paused[node] = false
-		r.emitFault(FaultEvent{At: r.eng.Now(), Kind: FaultResume, Node: node})
+		r.host.EmitFault(FaultEvent{At: r.eng.Now(), Kind: FaultResume, Node: node})
 		q := r.held[node]
 		r.held[node] = nil
 		for _, f := range q {
@@ -256,122 +338,6 @@ func (r *Runner) checkInvariant() {
 	}
 }
 
-// step reports one state-machine step to the observer, then applies its
-// effects (so fault events for the produced messages follow their step).
-func (r *Runner) step(s Step, e protocol.Effects) {
-	s.Effects = e
-	if r.opts.Observer != nil {
-		r.opts.Observer.OnStep(s)
-	}
-	r.apply(s.Node, e)
-}
-
-func (r *Runner) emitFault(f FaultEvent) {
-	if r.opts.Observer != nil {
-		r.opts.Observer.OnFault(f)
-	}
-}
-
-// apply interprets the effects of one state-machine step at node id.
-func (r *Runner) apply(id int, e protocol.Effects) {
-	if e.Granted {
-		r.onGranted(id)
-	}
-	for _, m := range e.Msgs {
-		r.dispatch(m)
-	}
-	for _, tm := range e.Timers {
-		id, tm := id, tm
-		r.eng.After(sim.Time(tm.Delay), func() {
-			r.fireTimer(id, tm)
-		})
-	}
-	r.checkInvariant()
-}
-
-// fireTimer runs one timer at node id, queueing it if the node is paused.
-func (r *Runner) fireTimer(id int, tm protocol.Timer) {
-	if r.dead[id] {
-		return
-	}
-	if r.paused[id] {
-		r.held[id] = append(r.held[id], func() { r.fireTimer(id, tm) })
-		return
-	}
-	eff := r.nodes[id].HandleTimer(protocol.Time(r.eng.Now()), tm.Kind, tm.Gen)
-	r.step(Step{At: r.eng.Now(), Kind: StepTimer, Node: id, Timer: tm.Kind}, eff)
-}
-
-// dispatch sends one message through the fault injector and the delay
-// model. All loss/duplication/jitter decisions — including the legacy
-// DropCheap/DupCheap knobs — go through the injector, one code path.
-func (r *Runner) dispatch(m protocol.Message) {
-	if r.invariantErr != nil {
-		// The run is already condemned; stop feeding the network so a
-		// duplicated token cannot multiply without bound.
-		return
-	}
-	r.Msgs.Inc(m.Kind.String())
-	expensive := m.Kind.Expensive()
-	v := r.faults.OnMessage(expensive)
-	if v.Drop {
-		r.Msgs.Inc("dropped")
-		r.emitFault(FaultEvent{At: r.eng.Now(), Kind: FaultDrop, Msg: m})
-		return
-	}
-	if v.Dup {
-		r.Msgs.Inc("duplicated")
-		r.emitFault(FaultEvent{At: r.eng.Now(), Kind: FaultDup, Msg: m, Delay: v.DupDelay})
-		r.deliver(m, v.DupDelay)
-	}
-	if v.Delay > 0 {
-		r.Msgs.Inc("delayed")
-		r.emitFault(FaultEvent{At: r.eng.Now(), Kind: FaultDelay, Msg: m, Delay: v.Delay})
-	}
-	r.deliver(m, v.Delay)
-}
-
-// deliver schedules one physical delivery of m after the model delay plus
-// extra fault jitter. Each physical delivery of a token-bearing message
-// counts toward inFlightToken — so an (unsafe) duplicated token drives
-// TokenCount to 2 and trips the invariant, and an (unsafe) dropped token
-// never increments it and trips the invariant at 0.
-func (r *Runner) deliver(m protocol.Message, extra sim.Time) {
-	expensive := m.Kind.Expensive()
-	if expensive {
-		r.inFlightToken++
-	}
-	delay := r.opts.Delay.Delay(r.eng.RNG(), m.From, m.To) + extra
-	if delay < 1 {
-		delay = 1
-	}
-	r.eng.After(delay, func() {
-		r.arrive(m, expensive)
-	})
-}
-
-// arrive processes one physical delivery, queueing the whole arrival —
-// including the in-flight accounting — if the destination is paused, so a
-// token stuck at a paused node keeps counting as in flight.
-func (r *Runner) arrive(m protocol.Message, expensive bool) {
-	if r.paused[m.To] && !r.dead[m.To] {
-		r.held[m.To] = append(r.held[m.To], func() { r.arrive(m, expensive) })
-		return
-	}
-	if expensive {
-		r.inFlightToken--
-	}
-	if r.dead[m.To] || r.dead[m.From] {
-		return // crashed endpoints swallow traffic
-	}
-	if m.Kind == protocol.MsgToken && r.opts.TrackFairness {
-		r.Fair.Possessed(m.To)
-	}
-	eff := r.nodes[m.To].HandleMessage(protocol.Time(r.eng.Now()), m)
-	mc := m
-	r.step(Step{At: r.eng.Now(), Kind: StepDeliver, Node: m.To, Msg: &mc}, eff)
-}
-
 // onGranted updates metrics and schedules the release after the critical
 // section.
 func (r *Runner) onGranted(id int) {
@@ -398,7 +364,7 @@ func (r *Runner) doRelease(id int) {
 		return
 	}
 	eff := r.nodes[id].Release(protocol.Time(r.eng.Now()))
-	r.step(Step{At: r.eng.Now(), Kind: StepRelease, Node: id}, eff)
+	r.host.Step(Step{At: r.eng.Now(), Kind: StepRelease, Node: id}, eff)
 }
 
 // Request schedules a token request by node at absolute time at.
@@ -429,7 +395,7 @@ func (r *Runner) doRequest(node int) {
 	if r.opts.TrackFairness {
 		r.Fair.Requested(node, now)
 	}
-	r.step(Step{At: r.eng.Now(), Kind: StepRequest, Node: node}, n.Request(protocol.Time(now)))
+	r.host.Step(Step{At: r.eng.Now(), Kind: StepRequest, Node: node}, n.Request(protocol.Time(now)))
 }
 
 // RunWorkload materializes count requests from gen, schedules them, and

@@ -5,10 +5,24 @@ import (
 	"reflect"
 	"testing"
 
+	"adaptivetoken/internal/faults"
 	"adaptivetoken/internal/protocol"
 	"adaptivetoken/internal/sim"
 	"adaptivetoken/internal/workload"
 )
+
+// mustInjector builds a policy-mode injector for an explicit fault plan —
+// the preferred way to configure loss/duplication (the legacy
+// Options.DropCheap/DupCheap sugar remains only for compatibility and is
+// covered by fault_path_test.go).
+func mustInjector(t *testing.T, p faults.Plan) *faults.Injector {
+	t.Helper()
+	inj, err := faults.NewInjector(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inj
+}
 
 func run(t *testing.T, cfg protocol.Config, opts Options, gen workload.Generator, count int) (*Runner, Result) {
 	t.Helper()
@@ -120,7 +134,8 @@ func TestSaturationThroughput(t *testing.T) {
 // expensive/cheap message split).
 func TestCheapMessageLossIsSafe(t *testing.T) {
 	cfg := protocol.Config{Variant: protocol.BinarySearch, N: 32, ResearchTimeout: 100}
-	r, res := run(t, cfg, Options{Seed: 13, DropCheap: 0.5},
+	inj := mustInjector(t, faults.Plan{Seed: 13 ^ legacySalt, DropCheap: 0.5})
+	r, res := run(t, cfg, Options{Seed: 13, Faults: inj},
 		workload.Poisson{N: 32, MeanGap: 50}, 200)
 	if res.Grants != res.Issued {
 		t.Errorf("grants = %d, issued = %d", res.Grants, res.Issued)
@@ -139,7 +154,8 @@ func TestCheapMessageLossIsSafe(t *testing.T) {
 func TestCheapMessageDuplicationIsSafe(t *testing.T) {
 	for _, v := range []protocol.Variant{protocol.BinarySearch, protocol.DirectedSearch} {
 		cfg := protocol.Config{Variant: v, N: 24, TrapGC: protocol.GCRotation}
-		r, res := run(t, cfg, Options{Seed: 19, DupCheap: 0.33},
+		inj := mustInjector(t, faults.Plan{Seed: 19 ^ legacySalt, DupCheap: 0.33})
+		r, res := run(t, cfg, Options{Seed: 19, Faults: inj},
 			workload.Poisson{N: 24, MeanGap: 15}, 250)
 		if res.Grants != res.Issued {
 			t.Errorf("%s: grants = %d, issued = %d", v, res.Grants, res.Issued)
@@ -158,7 +174,8 @@ func TestCheapMessageDuplicationIsSafe(t *testing.T) {
 // remains correct even if no cheap message is ever sent".
 func TestTotalCheapLossStillLive(t *testing.T) {
 	cfg := protocol.Config{Variant: protocol.BinarySearch, N: 16}
-	_, res := run(t, cfg, Options{Seed: 17, DropCheap: 1.0},
+	inj := mustInjector(t, faults.Plan{Seed: 17 ^ legacySalt, DropCheap: 1.0})
+	_, res := run(t, cfg, Options{Seed: 17, Faults: inj},
 		workload.Poisson{N: 16, MeanGap: 40}, 100)
 	if res.Grants != res.Issued {
 		t.Errorf("grants = %d, issued = %d", res.Grants, res.Issued)

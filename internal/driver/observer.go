@@ -1,101 +1,43 @@
 package driver
 
-import (
-	"adaptivetoken/internal/protocol"
-	"adaptivetoken/internal/sim"
-)
+import "adaptivetoken/internal/host"
+
+// The step/fault trace types are owned by internal/host (the shared
+// sim/live effects interpreter); the driver re-exports them as aliases so
+// existing consumers — the conformance checker chief among them — keep
+// compiling and, by type identity, satisfy host.Observer too.
 
 // StepKind classifies one observable state-machine step.
-type StepKind int
+type StepKind = host.StepKind
 
 const (
-	// StepBootstrap is the t=0 token injection at node 0.
-	StepBootstrap StepKind = iota + 1
-	// StepRequest is an issued (non-coalesced) token request.
-	StepRequest
-	// StepDeliver is a message delivery; Step.Msg is set.
-	StepDeliver
-	// StepTimer is a timer firing; Step.Timer is set.
-	StepTimer
-	// StepRelease is a critical-section exit.
-	StepRelease
+	StepBootstrap = host.StepBootstrap
+	StepRequest   = host.StepRequest
+	StepDeliver   = host.StepDeliver
+	StepTimer     = host.StepTimer
+	StepRelease   = host.StepRelease
 )
-
-func (k StepKind) String() string {
-	switch k {
-	case StepBootstrap:
-		return "bootstrap"
-	case StepRequest:
-		return "request"
-	case StepDeliver:
-		return "deliver"
-	case StepTimer:
-		return "timer"
-	case StepRelease:
-		return "release"
-	}
-	return "unknown"
-}
 
 // Step is one state-machine step as seen by the driver: which node did what
 // at which time, and the effects (messages, grant, timers) it produced. The
 // conformance checker replays Steps against the spec systems.
-type Step struct {
-	At   sim.Time
-	Kind StepKind
-	Node int
-	// Msg is the delivered message for StepDeliver.
-	Msg *protocol.Message
-	// Timer is the fired timer's kind for StepTimer.
-	Timer protocol.TimerKind
-	// Effects is what the step produced.
-	Effects protocol.Effects
-}
+type Step = host.Step
 
 // FaultKind classifies one injected fault.
-type FaultKind int
+type FaultKind = host.FaultKind
 
 const (
-	FaultDrop FaultKind = iota + 1
-	FaultDup
-	FaultDelay
-	FaultPause
-	FaultResume
+	FaultDrop   = host.FaultDrop
+	FaultDup    = host.FaultDup
+	FaultDelay  = host.FaultDelay
+	FaultPause  = host.FaultPause
+	FaultResume = host.FaultResume
 )
-
-func (k FaultKind) String() string {
-	switch k {
-	case FaultDrop:
-		return "drop"
-	case FaultDup:
-		return "dup"
-	case FaultDelay:
-		return "delay"
-	case FaultPause:
-		return "pause"
-	case FaultResume:
-		return "resume"
-	}
-	return "unknown"
-}
 
 // FaultEvent is one injected fault, reported after the OnStep whose effects
 // produced the affected message.
-type FaultEvent struct {
-	At   sim.Time
-	Kind FaultKind
-	// Msg is the affected message (drop/dup/delay).
-	Msg protocol.Message
-	// Delay is the extra delivery delay (delay faults and duplicate
-	// copies).
-	Delay sim.Time
-	// Node is the paused/resumed node (pause/resume faults).
-	Node int
-}
+type FaultEvent = host.FaultEvent
 
 // Observer receives the trace of a run: every state-machine step and every
 // injected fault, in execution order.
-type Observer interface {
-	OnStep(Step)
-	OnFault(FaultEvent)
-}
+type Observer = host.Observer

@@ -3,6 +3,7 @@ package driver
 import (
 	"testing"
 
+	"adaptivetoken/internal/faults"
 	"adaptivetoken/internal/protocol"
 	"adaptivetoken/internal/sim"
 	"adaptivetoken/internal/workload"
@@ -34,12 +35,13 @@ func TestSoakAllVariants(t *testing.T) {
 			t.Parallel()
 			for seed := uint64(1); seed <= 3; seed++ {
 				for gi, mk := range gens {
+					inj := mustInjector(t, faults.Plan{
+						Seed: seed ^ legacySalt, DropCheap: 0.15, DupCheap: 0.10})
 					r, err := New(cfg, Options{
-						Seed:      seed,
-						DropCheap: 0.15,
-						DupCheap:  0.10,
-						CSTime:    sim.Time(seed % 3),
-						Delay:     sim.UniformDelay{Min: 1, Max: 3},
+						Seed:   seed,
+						Faults: inj,
+						CSTime: sim.Time(seed % 3),
+						Delay:  sim.UniformDelay{Min: 1, Max: 3},
 					})
 					if err != nil {
 						t.Fatal(err)

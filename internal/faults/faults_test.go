@@ -2,6 +2,7 @@ package faults
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 )
 
@@ -138,5 +139,48 @@ func TestSchedulePrefixStability(t *testing.T) {
 				t.Fatalf("seq %d before the cut diverged", i)
 			}
 		}
+	}
+}
+
+// TestSharedSerializesConcurrentDraws hammers one Shared injector from many
+// goroutines — the live-cluster usage — and checks that the recorded
+// schedule stays one coherent global sequence: exactly one action per
+// dispatch seq, no gaps, and stats that add up. Run under -race this also
+// proves the wrapper actually serializes the underlying injector.
+func TestSharedSerializesConcurrentDraws(t *testing.T) {
+	in, err := NewInjector(Plan{Seed: 5, DropCheap: 1.0}) // every draw records
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := Share(in)
+
+	const goroutines, draws = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < draws; i++ {
+				sh.OnMessage(false)
+				sh.Stats() // interleave reads with draws
+			}
+		}()
+	}
+	wg.Wait()
+
+	sched := sh.Schedule()
+	if len(sched.Actions) != goroutines*draws {
+		t.Fatalf("recorded %d actions, want %d", len(sched.Actions), goroutines*draws)
+	}
+	for i, a := range sched.Actions {
+		if a.Seq != uint64(i) {
+			t.Fatalf("action %d has seq %d: global sequence has gaps", i, a.Seq)
+		}
+		if a.Op != OpDrop {
+			t.Fatalf("action %d: op = %v, want drop", i, a.Op)
+		}
+	}
+	if got := sh.Stats()["dropped"]; got != goroutines*draws {
+		t.Errorf("dropped stat = %d, want %d", got, goroutines*draws)
 	}
 }

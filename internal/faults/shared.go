@@ -1,0 +1,36 @@
+package faults
+
+import "sync"
+
+// Shared serializes one Injector behind a mutex so the concurrent hosts of
+// a live cluster can share it: every node's dispatches draw from one global
+// sequence, exactly like the simulation driver's single injector, which is
+// what makes live fault schedules recordable, replayable and shrinkable.
+type Shared struct {
+	mu sync.Mutex
+	in *Injector
+}
+
+// Share wraps in for concurrent use.
+func Share(in *Injector) *Shared { return &Shared{in: in} }
+
+// OnMessage decides the fate of the next dispatched message (any node).
+func (s *Shared) OnMessage(expensive bool) Verdict {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.in.OnMessage(expensive)
+}
+
+// Schedule returns the replayable record of every decision taken so far.
+func (s *Shared) Schedule() Schedule {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.in.Schedule()
+}
+
+// Stats returns the underlying injector's fault counters as a snapshot.
+func (s *Shared) Stats() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.in.Stats()
+}

@@ -1,0 +1,93 @@
+package host
+
+import (
+	"sync"
+	"time"
+
+	"adaptivetoken/internal/sim"
+)
+
+// SimClock adapts the discrete-event engine to the host Clock: Now is the
+// virtual time, AfterFunc schedules on the event heap.
+type SimClock struct {
+	Eng *sim.Engine
+}
+
+// Now implements Clock.
+func (c SimClock) Now() sim.Time { return c.Eng.Now() }
+
+// AfterFunc implements Clock.
+func (c SimClock) AfterFunc(d sim.Time, fn func()) { c.Eng.After(d, fn) }
+
+// WallClock is the live Clock: Now is wall time since construction divided
+// by the protocol time unit, AfterFunc arms real timers whose callbacks are
+// funneled through a serializer (the owning runtime's lock). Stop cancels
+// every outstanding timer; callbacks already in flight are dropped by the
+// serializer's stopped check, so Stop never blocks on timer goroutines and
+// no timer leaks past shutdown.
+type WallClock struct {
+	unit  time.Duration
+	start time.Time
+	run   func(fn func())
+
+	mu      sync.Mutex
+	timers  map[*time.Timer]struct{}
+	stopped bool
+}
+
+// NewWallClock builds a wall clock with the given protocol time unit. run
+// executes timer callbacks on the owner's execution context (typically:
+// take the runtime lock, check for shutdown, call fn).
+func NewWallClock(unit time.Duration, run func(fn func())) *WallClock {
+	return &WallClock{
+		unit:   unit,
+		start:  time.Now(),
+		run:    run,
+		timers: make(map[*time.Timer]struct{}),
+	}
+}
+
+// Now implements Clock.
+func (c *WallClock) Now() sim.Time {
+	return sim.Time(time.Since(c.start) / c.unit)
+}
+
+// AfterFunc implements Clock.
+func (c *WallClock) AfterFunc(d sim.Time, fn func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return
+	}
+	var handle *time.Timer
+	handle = time.AfterFunc(time.Duration(d)*c.unit, func() {
+		c.mu.Lock()
+		delete(c.timers, handle)
+		stopped := c.stopped
+		c.mu.Unlock()
+		if stopped {
+			return
+		}
+		c.run(fn)
+	})
+	c.timers[handle] = struct{}{}
+}
+
+// Stop cancels all outstanding timers and rejects new ones.
+func (c *WallClock) Stop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stopped = true
+	for t := range c.timers {
+		t.Stop()
+	}
+	c.timers = map[*time.Timer]struct{}{}
+}
+
+// Outstanding returns the number of armed, unfired timers (0 after Stop) —
+// the shutdown leak check.
+func (c *WallClock) Outstanding() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.timers)
+}

@@ -1,0 +1,144 @@
+package host
+
+import (
+	"sync"
+
+	"adaptivetoken/internal/protocol"
+	"adaptivetoken/internal/sim"
+)
+
+// StepKind classifies one observable state-machine step.
+type StepKind int
+
+const (
+	// StepBootstrap is the t=0 token injection at node 0.
+	StepBootstrap StepKind = iota + 1
+	// StepRequest is an issued (non-coalesced) token request.
+	StepRequest
+	// StepDeliver is a message delivery; Step.Msg is set.
+	StepDeliver
+	// StepTimer is a timer firing; Step.Timer is set.
+	StepTimer
+	// StepRelease is a critical-section exit.
+	StepRelease
+)
+
+func (k StepKind) String() string {
+	switch k {
+	case StepBootstrap:
+		return "bootstrap"
+	case StepRequest:
+		return "request"
+	case StepDeliver:
+		return "deliver"
+	case StepTimer:
+		return "timer"
+	case StepRelease:
+		return "release"
+	}
+	return "unknown"
+}
+
+// Step is one state-machine step as seen by the host: which node did what
+// at which time, and the effects (messages, grant, timers) it produced. The
+// conformance checker replays Steps against the spec systems. At is in the
+// host clock's units: simulated time under the driver, protocol time units
+// (wall time divided by the unit) on a live runtime.
+type Step struct {
+	At   sim.Time
+	Kind StepKind
+	Node int
+	// Msg is the delivered message for StepDeliver.
+	Msg *protocol.Message
+	// Timer is the fired timer's kind for StepTimer.
+	Timer protocol.TimerKind
+	// Effects is what the step produced.
+	Effects protocol.Effects
+}
+
+// FaultKind classifies one injected fault.
+type FaultKind int
+
+const (
+	FaultDrop FaultKind = iota + 1
+	FaultDup
+	FaultDelay
+	FaultPause
+	FaultResume
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultDrop:
+		return "drop"
+	case FaultDup:
+		return "dup"
+	case FaultDelay:
+		return "delay"
+	case FaultPause:
+		return "pause"
+	case FaultResume:
+		return "resume"
+	}
+	return "unknown"
+}
+
+// FaultEvent is one injected fault, reported after the OnStep whose effects
+// produced the affected message.
+type FaultEvent struct {
+	At   sim.Time
+	Kind FaultKind
+	// Msg is the affected message (drop/dup/delay).
+	Msg protocol.Message
+	// Delay is the extra delivery delay (delay faults and duplicate
+	// copies).
+	Delay sim.Time
+	// Node is the paused/resumed node (pause/resume faults).
+	Node int
+}
+
+// Observer receives the trace of a run: every state-machine step and every
+// injected fault, in execution order.
+type Observer interface {
+	OnStep(Step)
+	OnFault(FaultEvent)
+}
+
+// SyncObserver serializes a shared observer behind a mutex so the hosts of
+// several live runtimes can feed one trace consumer (e.g. the conformance
+// checker attached to a whole cluster). Each host reports a message's send
+// step before handing it to the transport, and the receiving host reports
+// the deliver step only after taking the envelope off its endpoint, so the
+// serialized trace preserves send-before-deliver causality.
+type SyncObserver struct {
+	mu    sync.Mutex
+	inner Observer
+}
+
+// NewSyncObserver wraps inner for concurrent use.
+func NewSyncObserver(inner Observer) *SyncObserver {
+	return &SyncObserver{inner: inner}
+}
+
+// OnStep implements Observer.
+func (o *SyncObserver) OnStep(s Step) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.inner.OnStep(s)
+}
+
+// OnFault implements Observer.
+func (o *SyncObserver) OnFault(f FaultEvent) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.inner.OnFault(f)
+}
+
+// Sync runs fn under the observer's mutex — the way to read the wrapped
+// observer's state (e.g. a conformance verdict) while hosts are still
+// running and delivering events.
+func (o *SyncObserver) Sync(fn func()) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	fn()
+}

@@ -12,12 +12,12 @@ import (
 
 // Summary holds order statistics over a set of float samples.
 type Summary struct {
-	Count          int
-	Mean           float64
-	Std            float64
-	Min, Max       float64
-	P50, P90, P99  float64
-	SumOfSquareDev float64
+	Count              int
+	Mean               float64
+	Std                float64
+	Min, Max           float64
+	P50, P90, P95, P99 float64
+	SumOfSquareDev     float64
 }
 
 // Summarize computes summary statistics of samples (which it sorts a copy
@@ -52,6 +52,7 @@ func Summarize(samples []float64) Summary {
 		Max:            cp[len(cp)-1],
 		P50:            percentile(cp, 0.50),
 		P90:            percentile(cp, 0.90),
+		P95:            percentile(cp, 0.95),
 		P99:            percentile(cp, 0.99),
 		SumOfSquareDev: dev,
 	}
@@ -74,8 +75,8 @@ func percentile(sorted []float64, p float64) float64 {
 
 // String renders the summary compactly.
 func (s Summary) String() string {
-	return fmt.Sprintf("n=%d mean=%.2f std=%.2f min=%.0f p50=%.0f p90=%.0f p99=%.0f max=%.0f",
-		s.Count, s.Mean, s.Std, s.Min, s.P50, s.P90, s.P99, s.Max)
+	return fmt.Sprintf("n=%d mean=%.2f std=%.2f min=%.0f p50=%.0f p90=%.0f p95=%.0f p99=%.0f max=%.0f",
+		s.Count, s.Mean, s.Std, s.Min, s.P50, s.P90, s.P95, s.P99, s.Max)
 }
 
 // Responsiveness tracks Definition 3: "the maximum time period during which

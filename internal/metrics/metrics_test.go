@@ -40,11 +40,59 @@ func TestQuickSummarizeBounds(t *testing.T) {
 			samples[i] = float64(v)
 		}
 		s := Summarize(samples)
-		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 &&
-			s.P99 <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P95 &&
+			s.P95 <= s.P99 && s.P99 <= s.Max && s.Min <= s.Mean && s.Mean <= s.Max
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestPercentilesKnownDistributions pins the nearest-rank percentiles on
+// distributions whose quantiles are known exactly.
+func TestPercentilesKnownDistributions(t *testing.T) {
+	// 1..100: the nearest-rank p-quantile of 100 samples is sample 100p.
+	uniform := make([]float64, 100)
+	for i := range uniform {
+		uniform[i] = float64(i + 1)
+	}
+	s := Summarize(uniform)
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"p50", s.P50, 50}, {"p90", s.P90, 90}, {"p95", s.P95, 95}, {"p99", s.P99, 99},
+	} {
+		if c.got != c.want {
+			t.Errorf("uniform 1..100: %s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+
+	// Heavy tail: 99 ones and one hundred — the p99 must already see the
+	// outlier, the p95 must not.
+	tail := make([]float64, 100)
+	for i := range tail {
+		tail[i] = 1
+	}
+	tail[0] = 100 // position irrelevant: Summarize sorts a copy
+	s = Summarize(tail)
+	if s.P50 != 1 || s.P90 != 1 || s.P95 != 1 {
+		t.Errorf("tail: p50/p90/p95 = %v/%v/%v, want 1/1/1", s.P50, s.P90, s.P95)
+	}
+	if s.P99 != 1 || s.Max != 100 {
+		// nearest-rank p99 of 100 samples is sample 99 (still 1).
+		t.Errorf("tail: p99 = %v max = %v, want 1 and 100", s.P99, s.Max)
+	}
+
+	// 1..20: ranks ⌈20p⌉ — p50→10, p90→18, p95→19, p99→20.
+	small := make([]float64, 20)
+	for i := range small {
+		small[i] = float64(i + 1)
+	}
+	s = Summarize(small)
+	if s.P50 != 10 || s.P90 != 18 || s.P95 != 19 || s.P99 != 20 {
+		t.Errorf("1..20: p50/p90/p95/p99 = %v/%v/%v/%v, want 10/18/19/20",
+			s.P50, s.P90, s.P95, s.P99)
 	}
 }
 

@@ -20,7 +20,7 @@ func testCluster(t *testing.T, n int) []*Mutex {
 		HoldIdle:        2,
 		ResearchTimeout: 500,
 	}
-	cn, err := transport.NewChannelNetwork(n, 1)
+	cn, err := transport.NewChannelNetwork(n)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,8 +1,15 @@
-// Package node hosts a protocol state machine on a live transport: a
-// goroutine event loop drives the deterministic core of internal/protocol
-// with real messages, wall-clock timers, and a blocking Acquire/Release API
-// for applications. The mutual-exclusion and total-order-broadcast services
-// are built on top of this runtime.
+// Package node hosts a protocol state machine on a live transport: the
+// shared effects interpreter of internal/host runs over wall-clock timers
+// (host.WallClock) and a transport.Endpoint (host.EndpointNetwork), with a
+// blocking Acquire/Release API for applications. The mutual-exclusion and
+// total-order-broadcast services are built on top of this runtime.
+//
+// Because the live path goes through the same host as the simulation
+// driver, the full instrumentation stack attaches to real runs: an
+// Observer (WithObserver) receives every step and fault — the conformance
+// checker plugs in here — and a fault source (WithFaults) injects
+// deterministic, dispatch-sequence-keyed loss/duplication/jitter whose
+// recorded schedules replay exactly like simulated ones.
 package node
 
 import (
@@ -12,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"adaptivetoken/internal/host"
 	"adaptivetoken/internal/protocol"
 	"adaptivetoken/internal/transport"
 )
@@ -19,17 +27,37 @@ import (
 // ErrStopped is returned by operations on a stopped runtime.
 var ErrStopped = errors.New("node: runtime stopped")
 
+// Option customizes a Runtime.
+type Option func(*config)
+
+type config struct {
+	faults   host.FaultSource
+	observer host.Observer
+}
+
+// WithFaults routes every dispatched message through f (policy or replay
+// mode). Share one faults.Shared across a cluster's runtimes to record a
+// single global-sequence schedule.
+func WithFaults(f host.FaultSource) Option {
+	return func(c *config) { c.faults = f }
+}
+
+// WithObserver attaches o to the runtime's host: it receives every
+// state-machine step and injected fault. Use host.NewSyncObserver to share
+// one observer (e.g. a conformance checker) across a cluster's runtimes.
+func WithObserver(o host.Observer) Option {
+	return func(c *config) { c.observer = o }
+}
+
 // Runtime drives one protocol node over an endpoint.
 type Runtime struct {
-	unit  time.Duration
-	start time.Time
-
 	mu      sync.Mutex
 	proto   *protocol.Node
 	ep      transport.Endpoint
+	host    *host.Host
+	clock   *host.WallClock
 	stopped bool
 	waiter  chan struct{} // closed on grant; nil when nobody waits
-	timers  map[*time.Timer]struct{}
 	onApp   func(transport.AppData)
 
 	loopDone chan struct{}
@@ -37,7 +65,7 @@ type Runtime struct {
 
 // NewRuntime wraps proto on ep. unit is the wall-clock length of one
 // protocol time unit (timers scale by it); it defaults to one millisecond.
-func NewRuntime(proto *protocol.Node, ep transport.Endpoint, unit time.Duration) (*Runtime, error) {
+func NewRuntime(proto *protocol.Node, ep transport.Endpoint, unit time.Duration, opts ...Option) (*Runtime, error) {
 	if proto == nil || ep == nil {
 		return nil, errors.New("node: nil protocol node or endpoint")
 	}
@@ -47,13 +75,50 @@ func NewRuntime(proto *protocol.Node, ep transport.Endpoint, unit time.Duration)
 	if unit <= 0 {
 		unit = time.Millisecond
 	}
-	return &Runtime{
-		unit:   unit,
-		start:  time.Now(),
-		proto:  proto,
-		ep:     ep,
-		timers: make(map[*time.Timer]struct{}),
-	}, nil
+	var cfg config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	r := &Runtime{proto: proto, ep: ep}
+	r.clock = host.NewWallClock(unit, r.runLocked)
+	h, err := host.New(host.Config{
+		Clock:    r.clock,
+		Network:  host.NewEndpointNetwork(ep, r.clock),
+		Faults:   cfg.faults,
+		Observer: cfg.observer,
+		Machine:  func(int) *protocol.Node { return r.proto },
+		Hooks:    host.Hooks{Granted: r.onGranted},
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.host = h
+	return r, nil
+}
+
+// runLocked is the clock's serializer: timer callbacks execute under the
+// runtime lock and are dropped after Stop.
+func (r *Runtime) runLocked(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped {
+		return
+	}
+	fn()
+}
+
+// onGranted wakes the waiting Acquire; with nobody waiting (canceled
+// acquire, or a stale trap grant) it hands the token straight back so it
+// keeps moving.
+func (r *Runtime) onGranted(int) {
+	if r.waiter != nil {
+		close(r.waiter)
+		r.waiter = nil
+		return
+	}
+	now := r.clock.Now()
+	r.host.Step(host.Step{At: now, Kind: host.StepRelease, Node: r.ID()},
+		r.proto.Release(protocol.Time(now)))
 }
 
 // ID returns the node's ring position.
@@ -70,8 +135,9 @@ func (r *Runtime) Start() {
 	go r.recvLoop()
 }
 
-// Stop shuts the runtime down: the endpoint closes, pending timers are
-// canceled, and the receive loop exits.
+// Stop shuts the runtime down: pending timers are canceled, the endpoint
+// closes, and the receive loop exits. Safe to call concurrently with
+// in-flight timer fires and Acquire.
 func (r *Runtime) Stop() {
 	r.mu.Lock()
 	if r.stopped {
@@ -79,20 +145,24 @@ func (r *Runtime) Stop() {
 		return
 	}
 	r.stopped = true
-	for t := range r.timers {
-		t.Stop()
-	}
-	r.timers = map[*time.Timer]struct{}{}
 	r.mu.Unlock()
+	r.clock.Stop()
 	r.ep.Close()
 	if r.loopDone != nil {
 		<-r.loopDone
 	}
 }
 
-// now returns the current protocol time.
-func (r *Runtime) now() protocol.Time {
-	return protocol.Time(time.Since(r.start) / r.unit)
+// PendingTimers returns the number of armed, unfired wall-clock timers —
+// 0 after Stop (the shutdown leak check).
+func (r *Runtime) PendingTimers() int { return r.clock.Outstanding() }
+
+// MsgStats returns a snapshot of the per-kind dispatch counters, including
+// the fault counters ("dropped", "duplicated", "delayed").
+func (r *Runtime) MsgStats() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.host.Msgs().Snapshot()
 }
 
 // Stats returns a diagnostic snapshot of the protocol state, taken under
@@ -108,7 +178,9 @@ func (r *Runtime) Stats() protocol.Stats {
 func (r *Runtime) Bootstrap() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.applyLocked(r.proto.GiveToken(r.now()))
+	now := r.clock.Now()
+	r.host.Step(host.Step{At: now, Kind: host.StepBootstrap, Node: r.ID()},
+		r.proto.GiveToken(protocol.Time(now)))
 }
 
 // Acquire blocks until the token is granted to this node or ctx is done.
@@ -123,17 +195,13 @@ func (r *Runtime) Acquire(ctx context.Context) error {
 		r.mu.Unlock()
 		return errors.New("node: concurrent Acquire on one runtime")
 	}
-	eff := r.proto.Request(r.now())
-	if eff.Granted {
-		// applyLocked would re-enter grant handling; the immediate
-		// self-grant carries no messages or timers.
-		r.applyRest(eff)
-		r.mu.Unlock()
-		return nil
-	}
+	// Register the waiter before stepping: an immediate self-grant closes
+	// it via the Granted hook, the same path a remote grant takes.
 	w := make(chan struct{})
 	r.waiter = w
-	r.applyRest(eff)
+	now := r.clock.Now()
+	r.host.Step(host.Step{At: now, Kind: host.StepRequest, Node: r.ID()},
+		r.proto.Request(protocol.Time(now)))
 	r.mu.Unlock()
 
 	select {
@@ -146,7 +214,8 @@ func (r *Runtime) Acquire(ctx context.Context) error {
 		}
 		r.mu.Unlock()
 		// The grant may still arrive later; a grant with no waiter is
-		// released immediately by the loop, keeping the token moving.
+		// released immediately by the grant hook, keeping the token
+		// moving.
 		select {
 		case <-w:
 			// Granted concurrently with cancellation: give it back.
@@ -162,7 +231,9 @@ func (r *Runtime) Acquire(ctx context.Context) error {
 func (r *Runtime) Release() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.applyLocked(r.proto.Release(r.now()))
+	now := r.clock.Now()
+	r.host.Step(host.Step{At: now, Kind: host.StepRelease, Node: r.ID()},
+		r.proto.Release(protocol.Time(now)))
 }
 
 // TryAttachment returns the token's application attachment; valid while the
@@ -206,7 +277,7 @@ func (r *Runtime) BroadcastApp(n int, d transport.AppData) error {
 	return nil
 }
 
-// recvLoop pumps the endpoint into the state machine.
+// recvLoop pumps the endpoint into the host.
 func (r *Runtime) recvLoop() {
 	defer close(r.loopDone)
 	for env := range r.ep.Recv() {
@@ -217,8 +288,7 @@ func (r *Runtime) recvLoop() {
 				r.mu.Unlock()
 				return
 			}
-			eff := r.proto.HandleMessage(r.now(), *env.Proto)
-			r.applyLocked(eff)
+			r.host.Arrive(*env.Proto)
 			r.mu.Unlock()
 		case env.App != nil:
 			r.mu.Lock()
@@ -228,49 +298,5 @@ func (r *Runtime) recvLoop() {
 				fn(*env.App)
 			}
 		}
-	}
-}
-
-// applyLocked interprets effects; the caller holds r.mu.
-func (r *Runtime) applyLocked(e protocol.Effects) {
-	if e.Granted {
-		if r.waiter != nil {
-			close(r.waiter)
-			r.waiter = nil
-		} else {
-			// Nobody is waiting (canceled acquire, or a stale
-			// trap grant): hand the token straight back so it
-			// keeps moving.
-			rel := r.proto.Release(r.now())
-			r.applyRest(rel)
-		}
-	}
-	r.applyRest(e)
-}
-
-// applyRest sends messages and arms timers; the caller holds r.mu.
-func (r *Runtime) applyRest(e protocol.Effects) {
-	for _, m := range e.Msgs {
-		m := m
-		if err := r.ep.Send(transport.Envelope{To: m.To, Proto: &m}); err != nil {
-			// Unreachable peer: protocol-level timeouts (research,
-			// recovery) repair the damage; nothing to do here.
-			continue
-		}
-	}
-	for _, tm := range e.Timers {
-		tm := tm
-		var handle *time.Timer
-		handle = time.AfterFunc(time.Duration(tm.Delay)*r.unit, func() {
-			r.mu.Lock()
-			defer r.mu.Unlock()
-			delete(r.timers, handle)
-			if r.stopped {
-				return
-			}
-			eff := r.proto.HandleTimer(r.now(), tm.Kind, tm.Gen)
-			r.applyLocked(eff)
-		})
-		r.timers[handle] = struct{}{}
 	}
 }

@@ -12,9 +12,9 @@ import (
 
 // cluster builds n live runtimes on a channel network, bootstraps node 0,
 // and returns a cleanup function.
-func cluster(t *testing.T, cfg protocol.Config, seed uint64) ([]*Runtime, *transport.ChannelNetwork) {
+func cluster(t *testing.T, cfg protocol.Config) ([]*Runtime, *transport.ChannelNetwork) {
 	t.Helper()
-	cn, err := transport.NewChannelNetwork(cfg.N, seed)
+	cn, err := transport.NewChannelNetwork(cfg.N)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestNewRuntimeValidation(t *testing.T) {
 	if _, err := NewRuntime(nil, nil, 0); err == nil {
 		t.Error("nil args must fail")
 	}
-	cn, _ := transport.NewChannelNetwork(2, 1)
+	cn, _ := transport.NewChannelNetwork(2)
 	defer cn.Close()
 	p, _ := protocol.New(1, liveConfig(2))
 	if _, err := NewRuntime(p, cn.Endpoint(0), 0); err == nil {
@@ -63,7 +63,7 @@ func TestNewRuntimeValidation(t *testing.T) {
 }
 
 func TestAcquireReleaseSingleNode(t *testing.T) {
-	rts, _ := cluster(t, liveConfig(1), 1)
+	rts, _ := cluster(t, liveConfig(1))
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := rts[0].Acquire(ctx); err != nil {
@@ -76,7 +76,7 @@ func TestAcquireReleaseSingleNode(t *testing.T) {
 }
 
 func TestAcquireAcrossRing(t *testing.T) {
-	rts, _ := cluster(t, liveConfig(5), 2)
+	rts, _ := cluster(t, liveConfig(5))
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	// Each node acquires in turn.
@@ -90,7 +90,7 @@ func TestAcquireAcrossRing(t *testing.T) {
 
 func TestMutualExclusionUnderContention(t *testing.T) {
 	const n = 6
-	rts, _ := cluster(t, liveConfig(n), 3)
+	rts, _ := cluster(t, liveConfig(n))
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
@@ -135,7 +135,7 @@ func TestMutualExclusionUnderContention(t *testing.T) {
 }
 
 func TestAcquireContextCancel(t *testing.T) {
-	rts, _ := cluster(t, liveConfig(3), 4)
+	rts, _ := cluster(t, liveConfig(3))
 	bg, cancelBG := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancelBG()
 
@@ -158,7 +158,7 @@ func TestAcquireContextCancel(t *testing.T) {
 }
 
 func TestAttachmentTravelsWithToken(t *testing.T) {
-	rts, _ := cluster(t, liveConfig(4), 5)
+	rts, _ := cluster(t, liveConfig(4))
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 
@@ -188,7 +188,7 @@ func TestAttachmentTravelsWithToken(t *testing.T) {
 
 func TestAppDataDelivery(t *testing.T) {
 	cfg := liveConfig(3)
-	cn, err := transport.NewChannelNetwork(cfg.N, 6)
+	cn, err := transport.NewChannelNetwork(cfg.N)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +238,7 @@ func TestAppDataDelivery(t *testing.T) {
 // the ring keeps moving — otherwise the token would be parked at a node
 // nobody is waiting on.
 func TestGrantAfterCanceledAcquireAutoReleases(t *testing.T) {
-	rts, _ := cluster(t, liveConfig(3), 11)
+	rts, _ := cluster(t, liveConfig(3))
 	bg, cancelBG := context.WithTimeout(context.Background(), 20*time.Second)
 	defer cancelBG()
 
@@ -263,7 +263,7 @@ func TestGrantAfterCanceledAcquireAutoReleases(t *testing.T) {
 }
 
 func TestConcurrentAcquireOnOneRuntimeRejected(t *testing.T) {
-	rts, _ := cluster(t, liveConfig(2), 13)
+	rts, _ := cluster(t, liveConfig(2))
 	bg, cancelBG := context.WithTimeout(context.Background(), 20*time.Second)
 	defer cancelBG()
 	// Node 1 blocks waiting for the token (node 0 holds it first).
@@ -285,7 +285,7 @@ func TestConcurrentAcquireOnOneRuntimeRejected(t *testing.T) {
 }
 
 func TestStopIsIdempotentAndAcquireFailsAfterStop(t *testing.T) {
-	rts, _ := cluster(t, liveConfig(2), 7)
+	rts, _ := cluster(t, liveConfig(2))
 	rts[1].Stop()
 	rts[1].Stop()
 	if err := rts[1].Acquire(context.Background()); err == nil {

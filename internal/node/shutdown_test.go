@@ -1,0 +1,87 @@
+package node
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStopConcurrentWithTimersAndAcquires hammers the shutdown path: all
+// runtimes stop at once while acquire loops and wall-clock protocol timers
+// (hold rotation, re-search) are in flight. Stop must not deadlock, and no
+// armed timer may survive it. Run under -race.
+func TestStopConcurrentWithTimersAndAcquires(t *testing.T) {
+	rts, _ := cluster(t, liveConfig(4))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, rt := range rts {
+		wg.Add(1)
+		go func(rt *Runtime) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+				if err := rt.Acquire(ctx); err == nil {
+					rt.Release()
+				}
+				cancel()
+			}
+		}(rt)
+	}
+
+	// Let the cluster churn: grants, releases, rotation timers.
+	time.Sleep(30 * time.Millisecond)
+
+	// Stop every runtime concurrently with the still-running acquire
+	// loops and whatever timers are about to fire.
+	var sg sync.WaitGroup
+	for _, rt := range rts {
+		sg.Add(1)
+		go func(rt *Runtime) {
+			defer sg.Done()
+			rt.Stop()
+		}(rt)
+	}
+	done := make(chan struct{})
+	go func() { sg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Stop deadlocked against in-flight timers/acquires")
+	}
+
+	close(stop)
+	wg.Wait()
+
+	for i, rt := range rts {
+		if n := rt.PendingTimers(); n != 0 {
+			t.Errorf("node %d leaked %d timers after Stop", i, n)
+		}
+		if err := rt.Acquire(context.Background()); err != ErrStopped {
+			t.Errorf("node %d: Acquire after Stop = %v, want ErrStopped", i, err)
+		}
+	}
+}
+
+// TestStopIsIdempotentUnderConcurrency: many concurrent Stops are one Stop.
+func TestStopIsIdempotentUnderConcurrency(t *testing.T) {
+	rts, _ := cluster(t, liveConfig(2))
+	var wg sync.WaitGroup
+	for k := 0; k < 8; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rts[1].Stop()
+		}()
+	}
+	wg.Wait()
+	if n := rts[1].PendingTimers(); n != 0 {
+		t.Errorf("leaked %d timers", n)
+	}
+}

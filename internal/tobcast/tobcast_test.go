@@ -21,7 +21,7 @@ func testRing(t *testing.T, n int) []*Broadcaster {
 		HoldIdle:        2,
 		ResearchTimeout: 500,
 	}
-	cn, err := transport.NewChannelNetwork(n, 1)
+	cn, err := transport.NewChannelNetwork(n)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -72,6 +72,10 @@ type Mix struct {
 	Crash bool
 	// Expected-to-fail mixes (the planted bugs) are excluded from sweeps.
 	Unsafe bool
+	// Live runs the scenario on real concurrent runtimes over a channel
+	// transport (wall clocks, goroutine scheduling) instead of the
+	// simulation driver; see live.go.
+	Live bool
 	// Plan derives the deterministic fault policy from the scenario.
 	Plan func(sc Scenario) faults.Plan
 }
@@ -126,6 +130,40 @@ var mixes = map[string]Mix{
 			return faults.Plan{Seed: sc.Seed ^ planSalt, Unsafe: true, DupToken: 0.3}
 		},
 	},
+
+	// The live-* mixes run on real concurrent runtimes over the channel
+	// transport. Their workload is a single causal chain (see live.go), so
+	// the shared injector's dispatch sequence — and with it the recorded
+	// schedule — stays deterministic and replayable despite wall clocks.
+	"live-clean": {
+		Name: "live-clean", Live: true, Conformance: true,
+		Plan: func(sc Scenario) faults.Plan {
+			return faults.Plan{Seed: sc.Seed ^ planSalt}
+		},
+	},
+	// live-lossy stays inside the deterministic-chain subset: cheap drops
+	// stall the chain until the re-search timer (still one chain) and
+	// jitter delays reorder nothing; duplication would fork the chain and
+	// is left to the simulator's mixes.
+	"live-lossy": {
+		Name: "live-lossy", Live: true, Conformance: true,
+		Plan: func(sc Scenario) faults.Plan {
+			return faults.Plan{
+				Seed:      sc.Seed ^ planSalt,
+				DropCheap: 0.25,
+				JitterProb: 0.15, JitterMax: 3,
+			}
+		},
+	},
+	// live-token-dup-bug is the planted live safety bug: the first
+	// token-bearing dispatch is duplicated, which the conformance checker
+	// attached to the live hosts must reject.
+	"live-token-dup-bug": {
+		Name: "live-token-dup-bug", Live: true, Conformance: true, Unsafe: true,
+		Plan: func(sc Scenario) faults.Plan {
+			return faults.Plan{Seed: sc.Seed ^ planSalt, Unsafe: true, DupToken: 1.0}
+		},
+	},
 }
 
 // MixNames returns all registered mix names, sorted.
@@ -138,11 +176,21 @@ func MixNames() []string {
 	return out
 }
 
-// SweepMixes are the safe mixes a sweep runs by default.
+// SweepMixes are the safe simulation mixes a sweep runs by default.
 func SweepMixes() []string { return []string{"clean", "lossy", "pause", "crash"} }
 
 // SweepVariants are the spec-modeled variants a sweep runs by default.
 func SweepVariants() []string { return []string{"ring", "linear", "binsearch"} }
+
+// SweepLiveMixes are the safe live-transport mixes; pair them with
+// SweepLiveVariants in a separate sweep (live scenarios need a search
+// variant, so the default ring variant is excluded).
+func SweepLiveMixes() []string { return []string{"live-clean", "live-lossy"} }
+
+// SweepLiveVariants are the variants live scenarios support: linear
+// search, whose gimme crawl reaches a parked token directly and keeps the
+// run a single deterministic causal chain (see liveConfigFor).
+func SweepLiveVariants() []string { return []string{"linear"} }
 
 // parseVariant maps a scenario variant name to the protocol constant.
 func parseVariant(s string) (protocol.Variant, error) {
@@ -193,6 +241,9 @@ func Run(sc Scenario, replay *faults.Schedule) Report {
 	if !ok {
 		rep.Err = fmt.Errorf("torture: unknown mix %q (have %v)", sc.Mix, MixNames())
 		return rep
+	}
+	if mix.Live {
+		return runLive(sc, mix, replay)
 	}
 	cfg, err := configFor(sc, mix)
 	if err != nil {

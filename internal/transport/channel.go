@@ -3,46 +3,27 @@ package transport
 import (
 	"fmt"
 	"sync"
-	"time"
-
-	"adaptivetoken/internal/sim"
 )
 
-// Faults configures fault injection on a ChannelNetwork. The zero value
-// injects nothing.
-type Faults struct {
-	// DropCheap is the probability of dropping a cheap protocol message
-	// (searches, probes, replies). Expensive token messages and
-	// application data are never dropped.
-	DropCheap float64
-	// Delay is a fixed delivery delay.
-	Delay time.Duration
-	// Jitter adds a uniform random delay in [0, Jitter).
-	Jitter time.Duration
-}
-
 // ChannelNetwork is an in-process network of endpoints connected by
-// mailboxes — the live analogue of the simulation driver's message plane,
-// with fault injection for tests.
+// mailboxes — the live analogue of the simulation driver's message plane.
+// It models topology only (severed links, partitions); message-level fault
+// injection (loss, duplication, jitter) lives in the host layer, where it
+// is dispatch-sequence-keyed and therefore recordable and replayable —
+// attach a faults.Injector to the node runtimes instead.
 type ChannelNetwork struct {
 	mu     sync.Mutex
 	eps    []*channelEndpoint
-	faults Faults
-	rng    *sim.RNG
 	cut    map[[2]int]bool // severed directed links
 	closed bool
-	wg     sync.WaitGroup // delayed deliveries in flight
 }
 
 // NewChannelNetwork builds a network of n endpoints.
-func NewChannelNetwork(n int, seed uint64) (*ChannelNetwork, error) {
+func NewChannelNetwork(n int) (*ChannelNetwork, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("transport: network of %d nodes", n)
 	}
-	cn := &ChannelNetwork{
-		rng: sim.NewRNG(seed),
-		cut: make(map[[2]int]bool),
-	}
+	cn := &ChannelNetwork{cut: make(map[[2]int]bool)}
 	cn.eps = make([]*channelEndpoint, n)
 	for i := 0; i < n; i++ {
 		cn.eps[i] = &channelEndpoint{id: i, net: cn, mbox: newMailbox()}
@@ -52,13 +33,6 @@ func NewChannelNetwork(n int, seed uint64) (*ChannelNetwork, error) {
 
 // Endpoint returns node id's endpoint.
 func (cn *ChannelNetwork) Endpoint(id int) Endpoint { return cn.eps[id] }
-
-// SetFaults replaces the fault-injection configuration.
-func (cn *ChannelNetwork) SetFaults(f Faults) {
-	cn.mu.Lock()
-	defer cn.mu.Unlock()
-	cn.faults = f
-}
 
 // CutLink severs (or heals) the directed link from → to.
 func (cn *ChannelNetwork) CutLink(from, to int, severed bool) {
@@ -80,8 +54,7 @@ func (cn *ChannelNetwork) Isolate(id int, severed bool) {
 	}
 }
 
-// Close shuts the whole network down: all endpoints close and in-flight
-// delayed deliveries drain.
+// Close shuts the whole network down: all endpoints close.
 func (cn *ChannelNetwork) Close() error {
 	cn.mu.Lock()
 	if cn.closed {
@@ -90,15 +63,13 @@ func (cn *ChannelNetwork) Close() error {
 	}
 	cn.closed = true
 	cn.mu.Unlock()
-	cn.wg.Wait()
 	for _, ep := range cn.eps {
 		ep.mbox.close()
 	}
 	return nil
 }
 
-// deliver routes an envelope, applying faults. Called with the envelope
-// already validated.
+// deliver routes an envelope. Called with the envelope already validated.
 func (cn *ChannelNetwork) deliver(e Envelope) error {
 	cn.mu.Lock()
 	if cn.closed {
@@ -113,28 +84,9 @@ func (cn *ChannelNetwork) deliver(e Envelope) error {
 		cn.mu.Unlock()
 		return nil // partitioned: silently dropped, like a dead link
 	}
-	f := cn.faults
-	cheap := e.Proto != nil && !e.Proto.Kind.Expensive()
-	if cheap && f.DropCheap > 0 && cn.rng.Float64() < f.DropCheap {
-		cn.mu.Unlock()
-		return nil
-	}
-	delay := f.Delay
-	if f.Jitter > 0 {
-		delay += time.Duration(cn.rng.Intn(int(f.Jitter)))
-	}
 	dst := cn.eps[e.To]
-	if delay <= 0 {
-		cn.mu.Unlock()
-		dst.mbox.put(e)
-		return nil
-	}
-	cn.wg.Add(1)
 	cn.mu.Unlock()
-	time.AfterFunc(delay, func() {
-		defer cn.wg.Done()
-		dst.mbox.put(e)
-	})
+	dst.mbox.put(e)
 	return nil
 }
 
