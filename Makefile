@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-baseline vet check clean torture fuzz smoke-live
+.PHONY: build test race bench bench-mem bench-baseline bench-opt vet check clean torture fuzz smoke-live
 
 build:
 	$(GO) build ./...
@@ -24,12 +24,30 @@ bench:
 	$(GO) test -run XXX -bench . -benchmem ./internal/history/ ./internal/bench/
 	$(GO) test -run XXX -bench . -benchmem .
 
+# Memory-focused benchmarks plus the allocation-regression gate: the
+# engine micro-benchmarks (0 B/op budget on the typed event paths), the
+# fig9 slice (B/op ÷ events/op = bytes/event), and the checked-in
+# per-event budget of internal/bench/alloc_budget.json. See DESIGN.md §8
+# and EXPERIMENTS.md ("Allocation metrics").
+bench-mem:
+	$(GO) test -run XXX -bench 'BenchmarkEngine' -benchmem ./internal/sim/
+	$(GO) test -run XXX -bench 'BenchmarkFig9Slice' -benchmem ./internal/bench/
+	$(GO) test -run 'TestAllocationBudget|TestEngineSteadyStateAllocFree|TestCompactToAllocFree' \
+		-v ./internal/bench/ ./internal/sim/ ./internal/history/
+
 # Regenerate BENCH_baseline.json: paper-scale Figure 9, sequential oracle
 # vs the worker pool, with a byte-identity check between the two tables.
 # See EXPERIMENTS.md ("Parallel runner") for what the fields mean.
 bench-baseline: build
 	$(GO) run ./cmd/tokensim -exp fig9 -paper -parallel 4 -baseline \
 		-benchjson BENCH_baseline.json
+
+# Regenerate BENCH_opt.json (same run as bench-baseline) and compare it
+# against the checked-in pre-optimization record.
+bench-opt: build
+	$(GO) run ./cmd/tokensim -exp fig9 -paper -parallel 4 -baseline \
+		-benchjson BENCH_opt.json
+	$(GO) run ./scripts/benchcmp BENCH_baseline.json BENCH_opt.json
 
 # Randomized fault-injection torture sweep: 9 seeds × 4 fault mixes ×
 # 3 variants = 108 scenarios, each asserting single-token safety, liveness
@@ -52,6 +70,7 @@ fuzz:
 	$(GO) test -run XXX -fuzz FuzzDirectedSearch -fuzztime 10s ./internal/protocol/
 	$(GO) test -run XXX -fuzz FuzzPushProbe -fuzztime 10s ./internal/protocol/
 	$(GO) test -run XXX -fuzz FuzzParseCSV -fuzztime 10s ./internal/bench/
+	$(GO) test -run XXX -fuzz FuzzEventHeap -fuzztime 10s ./internal/sim/
 
 check: build vet test race
 

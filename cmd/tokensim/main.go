@@ -50,12 +50,18 @@ func main() {
 // phase is the measured half of a benchmark record: one full experiment
 // pass at a fixed parallelism.
 type phase struct {
-	Parallelism  int                 `json:"parallelism"`
-	WallSeconds  float64             `json:"wall_seconds"`
-	EventsPerSec float64             `json:"events_per_sec"`
-	AllocBytes   uint64              `json:"alloc_bytes"`
-	Mallocs      uint64              `json:"mallocs"`
-	Stats        bench.StatsSnapshot `json:"stats"`
+	Parallelism  int     `json:"parallelism"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	AllocBytes   uint64  `json:"alloc_bytes"`
+	Mallocs      uint64  `json:"mallocs"`
+	// BytesPerEvent and MallocsPerEvent are the allocation intensity of
+	// the pass: heap traffic divided by discrete events executed. These
+	// are what the allocation-regression gate budgets (see
+	// internal/bench/alloc_budget.json and EXPERIMENTS.md).
+	BytesPerEvent   float64             `json:"bytes_per_event"`
+	MallocsPerEvent float64             `json:"mallocs_per_event"`
+	Stats           bench.StatsSnapshot `json:"stats"`
 }
 
 // record is the machine-readable benchmark artifact (-benchjson). With
@@ -298,6 +304,10 @@ func measure(exp string, opts bench.Options, csv bool) (string, phase, error) {
 	}
 	if wall > 0 {
 		ph.EventsPerSec = float64(snap.SimEvents) / wall.Seconds()
+	}
+	if snap.SimEvents > 0 {
+		ph.BytesPerEvent = float64(ph.AllocBytes) / float64(snap.SimEvents)
+		ph.MallocsPerEvent = float64(ph.Mallocs) / float64(snap.SimEvents)
 	}
 	return sb.String(), ph, nil
 }

@@ -88,9 +88,29 @@ type Runner struct {
 	invariantOff  bool
 	dead          []bool
 	paused        []bool
-	held          [][]func() // per-node work queued while paused
+	held          [][]heldItem // per-node work queued while paused
 	faults        *faults.Injector
 }
+
+// heldItem is one unit of work parked at a paused node: a typed record
+// instead of a captured closure, so pausing costs no allocation per retried
+// delivery. Resume re-enters the original code path, which re-runs the gate
+// (exactly as the old retry closures did).
+type heldItem struct {
+	kind heldKind
+	node int
+	msg  protocol.Message
+	tm   protocol.Timer
+}
+
+type heldKind uint8
+
+const (
+	heldArrive heldKind = iota + 1
+	heldTimer
+	heldRelease
+	heldRequest
+)
 
 // New builds a cluster of cfg.N nodes and bootstraps the token at node 0.
 func New(cfg protocol.Config, opts Options) (*Runner, error) {
@@ -126,7 +146,7 @@ func New(cfg protocol.Config, opts Options) (*Runner, error) {
 	}
 	r.dead = make([]bool, cfg.N)
 	r.paused = make([]bool, cfg.N)
-	r.held = make([][]func(), cfg.N)
+	r.held = make([][]heldItem, cfg.N)
 	r.nodes = make([]*protocol.Node, cfg.N)
 	for i := 0; i < cfg.N; i++ {
 		n, err := protocol.New(i, cfg)
@@ -154,6 +174,9 @@ func New(cfg protocol.Config, opts Options) (*Runner, error) {
 		return nil, err
 	}
 	r.host = h
+	// Physical deliveries and armed timers land back in the host as typed
+	// event records, no closure per event.
+	r.eng.SetHandler(r.host)
 	// Bootstrap: node 0 starts with the token at time zero.
 	if err := r.eng.At(0, func() {
 		r.host.Step(Step{At: 0, Kind: StepBootstrap, Node: 0}, r.nodes[0].GiveToken(0))
@@ -187,17 +210,15 @@ func (n simNetwork) Deliver(m protocol.Message, extra sim.Time) {
 	if delay < 1 {
 		delay = 1
 	}
-	r.eng.After(delay, func() {
-		r.host.Arrive(m)
-	})
+	r.eng.AfterMessage(delay, m)
 }
 
 // deliverGate queues the whole arrival — including the in-flight
 // accounting — if the destination is paused, so a token stuck at a paused
 // node keeps counting as in flight. Crashed endpoints swallow traffic.
-func (r *Runner) deliverGate(m protocol.Message, retry func()) bool {
+func (r *Runner) deliverGate(m protocol.Message) bool {
 	if r.paused[m.To] && !r.dead[m.To] {
-		r.held[m.To] = append(r.held[m.To], retry)
+		r.held[m.To] = append(r.held[m.To], heldItem{kind: heldArrive, msg: m})
 		return false
 	}
 	if m.Kind.Expensive() {
@@ -213,12 +234,12 @@ func (r *Runner) deliverGate(m protocol.Message, retry func()) bool {
 }
 
 // timerGate drops timers at dead nodes and queues them at paused ones.
-func (r *Runner) timerGate(id int, retry func()) bool {
+func (r *Runner) timerGate(id int, tm protocol.Timer) bool {
 	if r.dead[id] {
 		return false
 	}
 	if r.paused[id] {
-		r.held[id] = append(r.held[id], retry)
+		r.held[id] = append(r.held[id], heldItem{kind: heldTimer, node: id, tm: tm})
 		return false
 	}
 	return true
@@ -299,8 +320,22 @@ func (r *Runner) Pause(at sim.Time, node int, dur sim.Time) error {
 		r.host.EmitFault(FaultEvent{At: r.eng.Now(), Kind: FaultResume, Node: node})
 		q := r.held[node]
 		r.held[node] = nil
-		for _, f := range q {
-			f()
+		for _, it := range q {
+			switch it.kind {
+			case heldArrive:
+				r.host.Arrive(it.msg)
+			case heldTimer:
+				r.host.FireTimer(it.node, it.tm)
+			case heldRelease:
+				r.doRelease(it.node)
+			case heldRequest:
+				r.doRequest(it.node)
+			}
+		}
+		// If the drain queued nothing new, give the node its backing array
+		// back for the next pause window.
+		if len(r.held[node]) == 0 {
+			r.held[node] = q[:0]
 		}
 	})
 }
@@ -360,7 +395,7 @@ func (r *Runner) doRelease(id int) {
 		return
 	}
 	if r.paused[id] {
-		r.held[id] = append(r.held[id], func() { r.doRelease(id) })
+		r.held[id] = append(r.held[id], heldItem{kind: heldRelease, node: id})
 		return
 	}
 	eff := r.nodes[id].Release(protocol.Time(r.eng.Now()))
@@ -380,7 +415,7 @@ func (r *Runner) doRequest(node int) {
 		return
 	}
 	if r.paused[node] {
-		r.held[node] = append(r.held[node], func() { r.doRequest(node) })
+		r.held[node] = append(r.held[node], heldItem{kind: heldRequest, node: node})
 		return
 	}
 	n := r.nodes[node]

@@ -157,6 +157,12 @@ func (l *Log) EventsView() []Event { return l.entries }
 
 // CompactTo drops retained events with Seq ≤ seq, implementing the round
 // counter bounding. Compacting beyond the end is clamped.
+//
+// The trim is in place: survivors are copied down within the existing
+// backing arrays and the tails are zeroed (releasing payload strings), so a
+// steady-state compaction cadence allocates nothing. This invalidates
+// outstanding EventsView/CirculationView slices, which their contracts
+// already state.
 func (l *Log) CompactTo(seq uint64) {
 	if seq <= l.base {
 		return
@@ -165,7 +171,12 @@ func (l *Log) CompactTo(seq uint64) {
 		seq = uint64(l.Len())
 	}
 	drop := int(seq - l.base)
-	l.entries = append([]Event(nil), l.entries[drop:]...)
+	n := copy(l.entries, l.entries[drop:])
+	tail := l.entries[n:]
+	for i := range tail {
+		tail[i] = Event{}
+	}
+	l.entries = l.entries[:n]
 	l.base = seq
 	// Trim the cached projection to the retained region. lastCirc is a
 	// lineage property and survives compaction.
@@ -174,11 +185,12 @@ func (l *Log) CompactTo(seq uint64) {
 		keep++
 	}
 	if keep > 0 {
-		if keep == len(l.circ) {
-			l.circ = nil
-		} else {
-			l.circ = append([]Event(nil), l.circ[keep:]...)
+		n := copy(l.circ, l.circ[keep:])
+		tail := l.circ[n:]
+		for i := range tail {
+			tail[i] = Event{}
 		}
+		l.circ = l.circ[:n]
 	}
 }
 

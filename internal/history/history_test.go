@@ -286,3 +286,47 @@ func TestQuickPrefixSlices(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// CompactTo trims in place: compacting a log with enough backing capacity
+// must not touch the heap. Guards the zero-allocation contract the
+// steady-state compaction cadence relies on.
+func TestCompactToAllocFree(t *testing.T) {
+	l := New()
+	for i := 0; i < 256; i++ {
+		kind := KindData
+		if i%4 == 0 {
+			kind = KindCirculation
+		}
+		l.Append(i%8, kind, "payload")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		l.CompactTo(l.Base() + 2)
+		// Refill from the retained region so every run compacts work;
+		// appends reuse the freed tail capacity.
+		for len(l.entries) < 16 {
+			l.Append(0, KindData, "refill")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("CompactTo allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// CompactTo must zero the dropped tail so payload strings are released and
+// stale events never resurface through capacity reuse.
+func TestCompactToZeroesTail(t *testing.T) {
+	l := New()
+	for i := 0; i < 8; i++ {
+		l.Append(i, KindData, "secret")
+	}
+	ents := l.entries
+	l.CompactTo(4)
+	for i := l.Live(); i < cap(ents) && i < 8; i++ {
+		if e := ents[:8][i]; e != (Event{}) {
+			t.Fatalf("tail slot %d not zeroed: %+v", i, e)
+		}
+	}
+	if l.Live() != 4 || l.At(0).Seq != 5 {
+		t.Fatalf("compaction wrong: live=%d first=%+v", l.Live(), l.At(0))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"adaptivetoken/internal/protocol"
 	"adaptivetoken/internal/sim"
 )
 
@@ -18,6 +19,12 @@ func (c SimClock) Now() sim.Time { return c.Eng.Now() }
 
 // AfterFunc implements Clock.
 func (c SimClock) AfterFunc(d sim.Time, fn func()) { c.Eng.After(d, fn) }
+
+// AfterTimer implements TimerScheduler: armed timers become typed event
+// records on the engine's heap instead of captured closures.
+func (c SimClock) AfterTimer(d sim.Time, node int, tm protocol.Timer) {
+	c.Eng.AfterTimer(d, node, tm)
+}
 
 // WallClock is the live Clock: Now is wall time since construction divided
 // by the protocol time unit, AfterFunc arms real timers whose callbacks are

@@ -44,6 +44,14 @@ type Network interface {
 	Deliver(m protocol.Message, extra sim.Time)
 }
 
+// TimerScheduler is the allocation-free timer path: a Clock that also
+// implements it receives armed timers as typed records instead of closures.
+// SimClock implements it over the engine's typed event heap; the wall clock
+// keeps the closure path (live timers are sparse).
+type TimerScheduler interface {
+	AfterTimer(d sim.Time, node int, tm protocol.Timer)
+}
+
 // FaultSource decides the fate of dispatched messages. *faults.Injector
 // implements it for single-threaded hosts; faults.Shared serializes one
 // injector across the concurrent hosts of a live cluster.
@@ -58,12 +66,15 @@ type Hooks struct {
 	// scheduling the release after the critical section).
 	Granted func(id int)
 	// TimerGate runs before a fired timer reaches the state machine.
-	// Returning false swallows the firing; the gate may stash retry to
-	// re-run it later (paused nodes).
-	TimerGate func(id int, retry func()) bool
+	// Returning false swallows the firing; a gate that wants to retry
+	// later (paused nodes) records (id, tm) itself and re-enters via
+	// Host.FireTimer — typed records instead of captured closures, so the
+	// gate costs nothing on the hot path.
+	TimerGate func(id int, tm protocol.Timer) bool
 	// DeliverGate runs before an arrived message reaches the state
-	// machine, with the same swallow/retry contract as TimerGate.
-	DeliverGate func(m protocol.Message, retry func()) bool
+	// machine, with the same swallow/record-and-retry contract as
+	// TimerGate (re-enter via Host.Arrive).
+	DeliverGate func(m protocol.Message) bool
 	// Applied runs after a step's effects are fully interpreted
 	// (invariant checking).
 	Applied func(id int)
@@ -94,13 +105,20 @@ type Config struct {
 // network. It is not safe for concurrent use; callers serialize (the sim
 // event loop is single-threaded, live runtimes hold their lock).
 type Host struct {
-	clock   Clock
-	net     Network
-	faults  FaultSource
-	obs     Observer
-	msgs    *metrics.Messages
-	machine func(id int) *protocol.Node
-	hooks   Hooks
+	clock      Clock
+	timerSched TimerScheduler // non-nil when clock supports typed timers
+	net        Network
+	faults     FaultSource
+	obs        Observer
+	msgs       *metrics.Messages
+	machine    func(id int) *protocol.Node
+	hooks      Hooks
+
+	// scratch is the reusable per-step effects buffer of the observer-off
+	// fast path; applying guards against reentrant steps (e.g. a network
+	// that delivers synchronously), which fall back to a fresh buffer.
+	scratch  protocol.Effects
+	applying bool
 }
 
 // New validates cfg and builds a Host.
@@ -118,7 +136,7 @@ func New(cfg Config) (*Host, error) {
 	if cfg.Msgs == nil {
 		cfg.Msgs = metrics.NewMessages()
 	}
-	return &Host{
+	h := &Host{
 		clock:   cfg.Clock,
 		net:     cfg.Network,
 		faults:  cfg.Faults,
@@ -126,7 +144,11 @@ func New(cfg Config) (*Host, error) {
 		msgs:    cfg.Msgs,
 		machine: cfg.Machine,
 		hooks:   cfg.Hooks,
-	}, nil
+	}
+	if ts, ok := cfg.Clock.(TimerScheduler); ok {
+		h.timerSched = ts
+	}
+	return h, nil
 }
 
 // Msgs returns the host's message counters.
@@ -134,11 +156,14 @@ func (h *Host) Msgs() *metrics.Messages { return h.msgs }
 
 // Step reports one state-machine step to the observer, then applies its
 // effects (so fault events for the produced messages follow their step).
+// With no observer attached the step record is never materialized.
 func (h *Host) Step(s Step, e protocol.Effects) {
-	s.Effects = e
-	if h.obs != nil {
-		h.obs.OnStep(s)
+	if h.obs == nil {
+		h.Apply(s.Node, e)
+		return
 	}
+	s.Effects = e
+	h.obs.OnStep(s)
 	h.Apply(s.Node, e)
 }
 
@@ -160,10 +185,14 @@ func (h *Host) Apply(id int, e protocol.Effects) {
 		h.Dispatch(m)
 	}
 	for _, tm := range e.Timers {
-		id, tm := id, tm
-		h.clock.AfterFunc(sim.Time(tm.Delay), func() {
-			h.FireTimer(id, tm)
-		})
+		if h.timerSched != nil {
+			h.timerSched.AfterTimer(sim.Time(tm.Delay), id, tm)
+		} else {
+			id, tm := id, tm
+			h.clock.AfterFunc(sim.Time(tm.Delay), func() {
+				h.FireTimer(id, tm)
+			})
+		}
 	}
 	if h.hooks.Applied != nil {
 		h.hooks.Applied(id)
@@ -177,44 +206,64 @@ func (h *Host) Dispatch(m protocol.Message) {
 	if h.hooks.Condemned != nil && h.hooks.Condemned() {
 		return
 	}
-	h.msgs.Inc(m.Kind.String())
+	h.msgs.IncSlot(metrics.KindSlot(int(m.Kind)))
 	v := h.faults.OnMessage(m.Kind.Expensive())
 	if v.Drop {
-		h.msgs.Inc("dropped")
+		h.msgs.IncDropped()
 		h.EmitFault(FaultEvent{At: h.clock.Now(), Kind: FaultDrop, Msg: m})
 		return
 	}
 	if v.Dup {
-		h.msgs.Inc("duplicated")
+		h.msgs.IncDuplicated()
 		h.EmitFault(FaultEvent{At: h.clock.Now(), Kind: FaultDup, Msg: m, Delay: v.DupDelay})
 		h.net.Deliver(m, v.DupDelay)
 	}
 	if v.Delay > 0 {
-		h.msgs.Inc("delayed")
+		h.msgs.IncDelayed()
 		h.EmitFault(FaultEvent{At: h.clock.Now(), Kind: FaultDelay, Msg: m, Delay: v.Delay})
 	}
 	h.net.Deliver(m, v.Delay)
 }
 
 // Arrive processes one physical delivery: it runs the deliver gate, hands
-// the message to the destination state machine, and steps the result.
+// the message to the destination state machine, and steps the result. With
+// no observer attached it runs the zero-allocation fast path: the state
+// machine appends into the host's reset-and-reused scratch buffer and no
+// Step record is built.
 func (h *Host) Arrive(m protocol.Message) {
-	if h.hooks.DeliverGate != nil && !h.hooks.DeliverGate(m, func() { h.Arrive(m) }) {
+	if h.hooks.DeliverGate != nil && !h.hooks.DeliverGate(m) {
 		return
 	}
 	now := h.clock.Now()
+	if h.obs == nil && !h.applying {
+		h.applying = true
+		h.scratch.Reset()
+		h.machine(m.To).HandleMessageInto(protocol.Time(now), m, &h.scratch)
+		h.Apply(m.To, h.scratch)
+		h.applying = false
+		return
+	}
 	eff := h.machine(m.To).HandleMessage(protocol.Time(now), m)
 	mc := m
 	h.Step(Step{At: now, Kind: StepDeliver, Node: m.To, Msg: &mc}, eff)
 }
 
 // FireTimer runs one armed timer at node id through the timer gate and the
-// state machine, and steps the result.
+// state machine, and steps the result. Like Arrive, the observer-off path
+// reuses the scratch effects buffer.
 func (h *Host) FireTimer(id int, tm protocol.Timer) {
-	if h.hooks.TimerGate != nil && !h.hooks.TimerGate(id, func() { h.FireTimer(id, tm) }) {
+	if h.hooks.TimerGate != nil && !h.hooks.TimerGate(id, tm) {
 		return
 	}
 	now := h.clock.Now()
+	if h.obs == nil && !h.applying {
+		h.applying = true
+		h.scratch.Reset()
+		h.machine(id).HandleTimerInto(protocol.Time(now), tm.Kind, tm.Gen, &h.scratch)
+		h.Apply(id, h.scratch)
+		h.applying = false
+		return
+	}
 	eff := h.machine(id).HandleTimer(protocol.Time(now), tm.Kind, tm.Gen)
 	h.Step(Step{At: now, Kind: StepTimer, Node: id, Timer: tm.Kind}, eff)
 }

@@ -172,27 +172,119 @@ func (w *Waits) Samples() []float64 {
 // Summary summarizes the recorded waits.
 func (w *Waits) Summary() Summary { return Summarize(w.samples) }
 
+// Fast counter slots: the protocol message kinds plus the host's fault
+// counters, laid out in a fixed array so the per-dispatch increment on the
+// simulation hot path is an array index, not a map probe on a formatted
+// string. The map view (Snapshot/Kinds/Get) is kept for reporting; counts
+// for kinds outside the known set overflow into a string-keyed map.
+const (
+	slotToken = iota
+	slotTokenReturn
+	slotSearch
+	slotProbe
+	slotProbeReply
+	slotWantQuery
+	slotWantReply
+	slotRecoveryProbe
+	slotRecoveryReply
+	slotDropped
+	slotDuplicated
+	slotDelayed
+	numSlots
+)
+
+// slotNames maps fast slots to their reporting keys — the same strings
+// protocol.MsgKind.String() renders, so snapshots are unchanged.
+var slotNames = [numSlots]string{
+	"token", "token-return", "search", "probe", "probe-reply",
+	"want-query", "want-reply", "recovery-probe", "recovery-reply",
+	"dropped", "duplicated", "delayed",
+}
+
+// slotIndex inverts slotNames.
+var slotIndex = func() map[string]int {
+	m := make(map[string]int, numSlots)
+	for i, name := range slotNames {
+		m[name] = i
+	}
+	return m
+}()
+
+// KindSlot resolves a protocol message kind number (protocol.MsgKind's
+// underlying value) to its fast slot, or -1. Defined here so the metrics
+// package stays import-free of internal/protocol; internal/host wraps it
+// with the typed kind.
+func KindSlot(kind int) int {
+	switch {
+	case kind >= 1 && kind <= 7: // MsgToken..MsgWantReply
+		return slotToken + kind - 1
+	case kind == 100: // MsgRecoveryProbe
+		return slotRecoveryProbe
+	case kind == 101: // MsgRecoveryReply
+		return slotRecoveryReply
+	default:
+		return -1
+	}
+}
+
 // Messages counts protocol messages by kind.
 type Messages struct {
-	counts map[string]int64
+	slots [numSlots]int64
+	// extra holds counts for kinds outside the fast set (unknown or
+	// test-invented kinds); allocated on first use.
+	extra map[string]int64
 }
 
 // NewMessages returns an empty counter set.
-func NewMessages() *Messages { return &Messages{counts: make(map[string]int64)} }
+func NewMessages() *Messages { return &Messages{} }
+
+// IncSlot adds one message to a fast slot previously resolved with
+// KindSlot. Out-of-range slots are ignored.
+func (m *Messages) IncSlot(slot int) {
+	if slot >= 0 && slot < numSlots {
+		m.slots[slot]++
+	}
+}
+
+// IncDropped counts one fault-dropped message.
+func (m *Messages) IncDropped() { m.slots[slotDropped]++ }
+
+// IncDuplicated counts one fault-duplicated message.
+func (m *Messages) IncDuplicated() { m.slots[slotDuplicated]++ }
+
+// IncDelayed counts one fault-delayed message.
+func (m *Messages) IncDelayed() { m.slots[slotDelayed]++ }
 
 // Inc adds one message of the given kind.
-func (m *Messages) Inc(kind string) { m.counts[kind]++ }
+func (m *Messages) Inc(kind string) { m.Add(kind, 1) }
 
 // Add adds n messages of the given kind.
-func (m *Messages) Add(kind string, n int64) { m.counts[kind] += n }
+func (m *Messages) Add(kind string, n int64) {
+	if i, ok := slotIndex[kind]; ok {
+		m.slots[i] += n
+		return
+	}
+	if m.extra == nil {
+		m.extra = make(map[string]int64)
+	}
+	m.extra[kind] += n
+}
 
 // Get returns the count for kind.
-func (m *Messages) Get(kind string) int64 { return m.counts[kind] }
+func (m *Messages) Get(kind string) int64 {
+	if i, ok := slotIndex[kind]; ok {
+		return m.slots[i]
+	}
+	return m.extra[kind]
+}
 
 // Total returns the count over all kinds.
 func (m *Messages) Total() int64 {
 	var t int64
-	for _, v := range m.counts {
+	for _, v := range m.slots {
+		t += v
+	}
+	for _, v := range m.extra {
 		t += v
 	}
 	return t
@@ -201,8 +293,13 @@ func (m *Messages) Total() int64 {
 // Snapshot returns a copy of the per-kind counts, safe to retain and
 // mutate. Used by the driver's Summarize and the fault layer's stats.
 func (m *Messages) Snapshot() map[string]int64 {
-	out := make(map[string]int64, len(m.counts))
-	for k, v := range m.counts {
+	out := make(map[string]int64, numSlots+len(m.extra))
+	for i, v := range m.slots {
+		if v != 0 {
+			out[slotNames[i]] = v
+		}
+	}
+	for k, v := range m.extra {
 		out[k] = v
 	}
 	return out
@@ -210,8 +307,13 @@ func (m *Messages) Snapshot() map[string]int64 {
 
 // Kinds returns the kinds seen, sorted.
 func (m *Messages) Kinds() []string {
-	out := make([]string, 0, len(m.counts))
-	for k := range m.counts {
+	out := make([]string, 0, numSlots+len(m.extra))
+	for i, v := range m.slots {
+		if v != 0 {
+			out = append(out, slotNames[i])
+		}
+	}
+	for k := range m.extra {
 		out = append(out, k)
 	}
 	sort.Strings(out)

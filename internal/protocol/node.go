@@ -55,8 +55,11 @@ type Node struct {
 
 	// served is the rotation-GC satisfaction record riding on the token;
 	// curGrantSeq is the request sequence being served while in CS.
-	served      []ServedRec
-	curGrantSeq uint64
+	// servedShared marks the buffer as aliased by a message (frozen):
+	// mutation goes through ownServed's copy-on-write (see served.go).
+	served       []ServedRec
+	servedShared bool
+	curGrantSeq  uint64
 }
 
 // trapEntry is a stored token trap τ_requester.
@@ -235,30 +238,37 @@ func (n *Node) Release(now Time) Effects {
 // cannot steer traffic off the ring.
 func (n *Node) HandleMessage(now Time, m Message) Effects {
 	var e Effects
+	n.HandleMessageInto(now, m, &e)
+	return e
+}
+
+// HandleMessageInto is HandleMessage appending into a caller-owned Effects —
+// the allocation-free form hosts drive with a reset-and-reused scratch
+// buffer.
+func (n *Node) HandleMessageInto(now Time, m Message, e *Effects) {
 	if !n.validMessage(m) {
-		return e
+		return
 	}
 	switch m.Kind {
 	case MsgToken:
-		n.handleToken(now, m, &e)
+		n.handleToken(now, m, e)
 	case MsgTokenReturn:
-		n.handleTokenReturn(now, m, &e)
+		n.handleTokenReturn(now, m, e)
 	case MsgSearch:
-		n.handleSearch(now, m, &e)
+		n.handleSearch(now, m, e)
 	case MsgProbe:
-		n.handleProbe(now, m, &e)
+		n.handleProbe(now, m, e)
 	case MsgProbeReply:
-		n.handleProbeReply(now, m, &e)
+		n.handleProbeReply(now, m, e)
 	case MsgWantQuery:
-		n.handleWantQuery(now, m, &e)
+		n.handleWantQuery(now, m, e)
 	case MsgWantReply:
-		n.handleWantReply(now, m, &e)
+		n.handleWantReply(now, m, e)
 	case MsgRecoveryProbe:
-		n.handleRecoveryProbe(now, m, &e)
+		n.handleRecoveryProbe(now, m, e)
 	case MsgRecoveryReply:
-		n.handleRecoveryReply(now, m, &e)
+		n.handleRecoveryReply(now, m, e)
 	}
-	return e
 }
 
 // validMessage checks that every node reference in a message is on the
@@ -283,34 +293,41 @@ func (n *Node) validMessage(m Message) bool {
 // HandleTimer processes a previously armed timer.
 func (n *Node) HandleTimer(now Time, kind TimerKind, gen uint64) Effects {
 	var e Effects
+	n.HandleTimerInto(now, kind, gen, &e)
+	return e
+}
+
+// HandleTimerInto is HandleTimer appending into a caller-owned Effects —
+// the allocation-free form hosts drive with a reset-and-reused scratch
+// buffer.
+func (n *Node) HandleTimerInto(now Time, kind TimerKind, gen uint64, e *Effects) {
 	switch kind {
 	case TimerHold:
 		if gen != n.holdGen || !n.hasToken || n.inCS {
-			return e
+			return
 		}
-		if n.deliverNext(now, &e) {
-			return e
+		if n.deliverNext(now, e) {
+			return
 		}
-		n.passToken(now, &e)
+		n.passToken(now, e)
 	case TimerResearch:
 		if !n.pending || gen != n.reqSeq {
-			return e
+			return
 		}
-		n.issueSearch(now, &e)
+		n.issueSearch(now, e)
 	case TimerPushRound:
 		if gen != n.pushGen || !n.hasToken || n.inCS {
-			return e
+			return
 		}
-		if n.deliverNext(now, &e) {
-			return e
+		if n.deliverNext(now, e) {
+			return
 		}
-		n.passToken(now, &e)
+		n.passToken(now, e)
 	case TimerRecovery:
-		n.handleRecoveryTimer(now, gen, &e)
+		n.handleRecoveryTimer(now, gen, e)
 	case TimerRecoveryDecide:
-		n.handleRecoveryDecide(now, gen, &e)
+		n.handleRecoveryDecide(now, gen, e)
 	}
-	return e
 }
 
 // handleToken receives the regular circulating token (rule 3), or a

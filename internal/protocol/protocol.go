@@ -273,6 +273,14 @@ type Effects struct {
 	Timers []Timer
 }
 
+// Reset truncates the effects for reuse, keeping the slice capacity. Hosts
+// reset one scratch Effects per step so steady-state steps allocate nothing.
+func (e *Effects) Reset() {
+	e.Msgs = e.Msgs[:0]
+	e.Granted = false
+	e.Timers = e.Timers[:0]
+}
+
 func (e *Effects) send(m Message) { e.Msgs = append(e.Msgs, m) }
 
 func (e *Effects) arm(delay Time, kind TimerKind, gen uint64) {

@@ -17,6 +17,26 @@ func (n *Node) servedCap() int {
 	return c
 }
 
+// Satisfaction-record buffer pooling (the token hand-off protocol): the
+// record buffer travels with the token message instead of being deep-copied
+// at every hop. A buffer is frozen the moment it is shared — handed to an
+// outgoing message by servedSnapshot, or adopted from an incoming one by
+// adoptServed — and frozen buffers are never mutated: recordServed takes a
+// private copy first (ownServed). Any number of aliases (duplicated
+// deliveries, observer traces, messages parked at paused nodes) therefore
+// read stable bytes, and an idle rotation hop moves the record with zero
+// allocation.
+
+// ownServed makes the record privately mutable, copying it if it is still
+// aliased by a message buffer.
+func (n *Node) ownServed() {
+	if !n.servedShared {
+		return
+	}
+	n.served = append([]ServedRec(nil), n.served...)
+	n.servedShared = false
+}
+
 // recordServed appends a satisfied request to the token's record,
 // deduplicating by requester (the freshest sequence wins) and trimming to
 // the cap. Only meaningful under rotation GC.
@@ -27,24 +47,28 @@ func (n *Node) recordServed(requester int, reqSeq uint64) {
 	for i := range n.served {
 		if n.served[i].Requester == requester {
 			if reqSeq > n.served[i].ReqSeq {
+				n.ownServed()
 				n.served[i].ReqSeq = reqSeq
 			}
 			return
 		}
 	}
+	n.ownServed()
 	n.served = append(n.served, ServedRec{Requester: requester, ReqSeq: reqSeq})
 	if cap := n.servedCap(); len(n.served) > cap {
 		n.served = append(n.served[:0], n.served[len(n.served)-cap:]...)
 	}
 }
 
-// adoptServed replaces the local copy of the token's satisfaction record
-// and sweeps satisfied traps.
+// adoptServed takes over the token's satisfaction record (aliasing the
+// message's buffer — see the hand-off protocol above) and sweeps satisfied
+// traps.
 func (n *Node) adoptServed(recs []ServedRec) {
 	if n.cfg.TrapGC != GCRotation {
 		return
 	}
-	n.served = append(n.served[:0:0], recs...)
+	n.served = recs
+	n.servedShared = len(recs) > 0
 	if len(n.traps) == 0 {
 		return
 	}
@@ -69,9 +93,13 @@ func (n *Node) isServed(tr trapEntry) bool {
 }
 
 // servedSnapshot returns the record to stamp on an outgoing token message.
+// The returned slice aliases the node's buffer; handing it out freezes the
+// buffer (the next local mutation copies first), so the wire never sees a
+// record change after send.
 func (n *Node) servedSnapshot() []ServedRec {
 	if n.cfg.TrapGC != GCRotation || len(n.served) == 0 {
 		return nil
 	}
-	return append([]ServedRec(nil), n.served...)
+	n.servedShared = true
+	return n.served
 }

@@ -8,25 +8,79 @@
 // times fire in scheduling order, and all randomness flows from a seeded
 // SplitMix64 generator, so every experiment is exactly reproducible from its
 // seed.
+//
+// The event core is allocation-free in steady state: events are typed value
+// records (message delivery, timer firing, or a closure escape hatch) stored
+// in a slab with a free-list, ordered by a flat 4-ary min-heap of small
+// (time, seq, slot) keys. Scheduling a message or timer copies the payload
+// into a recycled slab slot — no closure, no per-event heap object, no
+// interface boxing. See DESIGN.md §8 ("Allocation discipline").
 package sim
 
 import (
-	"container/heap"
 	"errors"
+
+	"adaptivetoken/internal/protocol"
 )
 
 // Time is a point in simulated time, in abstract time units (the paper's
 // "message delays").
 type Time int64
 
+// Handler consumes the engine's typed events: message deliveries scheduled
+// with AtMessage/AfterMessage and timer firings scheduled with
+// AtTimer/AfterTimer. The effects interpreter of internal/host implements
+// it; tests may substitute their own.
+type Handler interface {
+	// Arrive processes one delivered message.
+	Arrive(m protocol.Message)
+	// FireTimer fires one armed timer at node.
+	FireTimer(node int, tm protocol.Timer)
+}
+
+// eventOp discriminates the typed event records.
+type eventOp uint8
+
+const (
+	// opFunc is the closure escape hatch (At/After) used by workload
+	// injection, bootstrap and tests.
+	opFunc eventOp = iota
+	// opMessage delivers rec.msg via the handler.
+	opMessage
+	// opTimer fires rec.tm at rec.node via the handler.
+	opTimer
+)
+
+// eventRec is one scheduled event's payload, stored by value in the slab.
+// Exactly one of the op-specific fields is meaningful.
+type eventRec struct {
+	op   eventOp
+	node int32
+	fn   func()
+	msg  protocol.Message
+	tm   protocol.Timer
+}
+
+// heapEntry is the ordering key of one pending event: fire time, FIFO
+// tie-breaker, and the slab slot holding its payload. Keeping the key small
+// (24 bytes) makes heap sifts cheap; the fat payload never moves.
+type heapEntry struct {
+	at  Time
+	seq uint64
+	idx int32
+}
+
 // Engine is a discrete-event simulator: a priority queue of timestamped
-// callbacks and a virtual clock.
+// typed events and a virtual clock.
 type Engine struct {
-	now    Time
-	queue  eventHeap
-	seq    uint64
-	rng    *RNG
-	events int
+	now     Time
+	heap    []heapEntry // 4-ary min-heap on (at, seq)
+	recs    []eventRec  // payload slab, indexed by heapEntry.idx
+	free    []int32     // recycled slab slots
+	seq     uint64
+	rng     *RNG
+	events  int
+	handler Handler
 }
 
 // NewEngine returns an engine with its clock at zero and randomness seeded
@@ -34,6 +88,10 @@ type Engine struct {
 func NewEngine(seed uint64) *Engine {
 	return &Engine{rng: NewRNG(seed)}
 }
+
+// SetHandler installs the consumer of typed message/timer events. It must
+// be set before the first AtMessage/AtTimer call.
+func (e *Engine) SetHandler(h Handler) { e.handler = h }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -45,19 +103,37 @@ func (e *Engine) RNG() *RNG { return e.rng }
 func (e *Engine) Events() int { return e.events }
 
 // Pending returns the number of scheduled, not yet executed events.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // ErrPastEvent is returned when scheduling strictly before the current time.
 var ErrPastEvent = errors.New("sim: event scheduled in the past")
 
+// alloc grabs a slab slot from the free-list (or grows the slab) and pushes
+// its heap key. The caller fills the returned record.
+func (e *Engine) alloc(t Time) *eventRec {
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.recs = append(e.recs, eventRec{})
+		idx = int32(len(e.recs) - 1)
+	}
+	e.seq++
+	e.heapPush(heapEntry{at: t, seq: e.seq, idx: idx})
+	return &e.recs[idx]
+}
+
 // At schedules fn to run at absolute time t. Events at equal times run in
-// scheduling order.
+// scheduling order. This is the closure escape hatch for workload injection
+// and tests; the protocol hot paths use the typed AtMessage/AtTimer.
 func (e *Engine) At(t Time, fn func()) error {
 	if t < e.now {
 		return ErrPastEvent
 	}
-	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	rec := e.alloc(t)
+	rec.op = opFunc
+	rec.fn = fn
 	return nil
 }
 
@@ -71,16 +147,81 @@ func (e *Engine) After(d Time, fn func()) {
 	_ = e.At(e.now+d, fn)
 }
 
+// AtMessage schedules delivery of m at absolute time t via the handler.
+func (e *Engine) AtMessage(t Time, m protocol.Message) error {
+	if t < e.now {
+		return ErrPastEvent
+	}
+	if e.handler == nil {
+		panic("sim: AtMessage without a Handler (call SetHandler first)")
+	}
+	rec := e.alloc(t)
+	rec.op = opMessage
+	rec.msg = m
+	return nil
+}
+
+// AfterMessage schedules delivery of m after d time units. Negative delays
+// are clamped to zero.
+func (e *Engine) AfterMessage(d Time, m protocol.Message) {
+	if d < 0 {
+		d = 0
+	}
+	_ = e.AtMessage(e.now+d, m)
+}
+
+// AtTimer schedules timer tm to fire at node at absolute time t via the
+// handler.
+func (e *Engine) AtTimer(t Time, node int, tm protocol.Timer) error {
+	if t < e.now {
+		return ErrPastEvent
+	}
+	if e.handler == nil {
+		panic("sim: AtTimer without a Handler (call SetHandler first)")
+	}
+	rec := e.alloc(t)
+	rec.op = opTimer
+	rec.node = int32(node)
+	rec.tm = tm
+	return nil
+}
+
+// AfterTimer schedules timer tm to fire at node after d time units.
+// Negative delays are clamped to zero.
+func (e *Engine) AfterTimer(d Time, node int, tm protocol.Timer) {
+	if d < 0 {
+		d = 0
+	}
+	_ = e.AtTimer(e.now+d, node, tm)
+}
+
 // Step executes the earliest pending event, advancing the clock to its time.
 // It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
-	e.now = ev.at
+	top := e.heapPop()
+	// Copy the payload out and recycle the slot before dispatch: the
+	// callback may schedule (growing the slab would invalidate a pointer),
+	// and clearing the reference-bearing fields keeps recycled slots from
+	// retaining messages or closures.
+	rec := e.recs[top.idx]
+	slot := &e.recs[top.idx]
+	slot.fn = nil
+	slot.msg.Attach = ""
+	slot.msg.Served = nil
+	e.free = append(e.free, top.idx)
+	e.now = top.at
 	e.events++
-	ev.fn()
+	switch rec.op {
+	case opFunc:
+		rec.fn()
+	case opMessage:
+		e.handler.Arrive(rec.msg)
+	case opTimer:
+		e.handler.FireTimer(int(rec.node), rec.tm)
+	}
 	return true
 }
 
@@ -89,7 +230,7 @@ func (e *Engine) Step() bool {
 // number of events executed.
 func (e *Engine) RunUntil(limit Time) int {
 	n := 0
-	for len(e.queue) > 0 && e.queue[0].at <= limit {
+	for len(e.heap) > 0 && e.heap[0].at <= limit {
 		e.Step()
 		n++
 	}
@@ -109,34 +250,66 @@ func (e *Engine) Drain(maxEvents int) int {
 	return n
 }
 
-// event is a scheduled callback.
-type event struct {
-	at  Time
-	seq uint64 // FIFO tie-breaker at equal times
-	fn  func()
-}
-
-// eventHeap is a min-heap on (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// entryLess is the heap order: fire time, then scheduling order (FIFO at
+// equal times).
+func entryLess(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+// heapPush appends entry and sifts it up the 4-ary heap.
+func (e *Engine) heapPush(entry heapEntry) {
+	e.heap = append(e.heap, entry)
+	h := e.heap
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !entryLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+// heapPop removes and returns the minimum entry.
+func (e *Engine) heapPop() heapEntry {
+	h := e.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	e.heap = h[:last]
+	e.siftDown(0)
+	return top
+}
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// siftDown restores heap order below i. A 4-ary layout halves the tree
+// height of a binary heap; the extra sibling comparisons stay in one cache
+// line because the keys are 24 bytes.
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	for {
+		c := 4*i + 1
+		if c >= n {
+			return
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if entryLess(h[j], h[best]) {
+				best = j
+			}
+		}
+		if !entryLess(h[best], h[i]) {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
 }

@@ -1,0 +1,164 @@
+// Command benchcmp compares two tokensim benchmark records (the
+// BENCH_*.json artifacts written by `tokensim -benchjson`) benchstat-style:
+// one row per metric with old, new, and relative delta, for each phase the
+// records share.
+//
+// Usage:
+//
+//	go run ./scripts/benchcmp BENCH_baseline.json BENCH_opt.json
+//	go run ./scripts/benchcmp -gate 10 old.json new.json
+//
+// With -gate P the command exits nonzero when bytes/event or mallocs/event
+// regresses by more than P percent — the allocation-regression check CI
+// runs against the checked-in baseline (see EXPERIMENTS.md).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+)
+
+// phase mirrors cmd/tokensim's measured half of a record. Per-event fields
+// may be absent in records written before they existed; they are then
+// derived from the totals.
+type phase struct {
+	Parallelism     int     `json:"parallelism"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	AllocBytes      float64 `json:"alloc_bytes"`
+	Mallocs         float64 `json:"mallocs"`
+	BytesPerEvent   float64 `json:"bytes_per_event"`
+	MallocsPerEvent float64 `json:"mallocs_per_event"`
+	Stats           struct {
+		SimEvents float64 `json:"sim_events"`
+	} `json:"stats"`
+}
+
+type record struct {
+	Experiment string `json:"experiment"`
+	Seed       uint64 `json:"seed"`
+	Requests   int    `json:"requests"`
+	Sequential *phase `json:"sequential"`
+	Parallel   phase  `json:"parallel"`
+}
+
+func (p *phase) derive() {
+	if p == nil || p.Stats.SimEvents == 0 {
+		return
+	}
+	if p.BytesPerEvent == 0 {
+		p.BytesPerEvent = p.AllocBytes / p.Stats.SimEvents
+	}
+	if p.MallocsPerEvent == 0 {
+		p.MallocsPerEvent = p.Mallocs / p.Stats.SimEvents
+	}
+}
+
+func load(path string) (record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return record{}, err
+	}
+	var r record
+	if err := json.Unmarshal(data, &r); err != nil {
+		return record{}, fmt.Errorf("%s: %w", path, err)
+	}
+	r.Sequential.derive()
+	r.Parallel.derive()
+	return r, nil
+}
+
+// metric is one comparison row; lowerBetter decides the sign of "delta" in
+// the improvement column and whether the gate watches it.
+type metric struct {
+	name        string
+	get         func(p *phase) float64
+	lowerBetter bool
+	gated       bool
+}
+
+var metrics = []metric{
+	{"wall_seconds", func(p *phase) float64 { return p.WallSeconds }, true, false},
+	{"events_per_sec", func(p *phase) float64 { return p.EventsPerSec }, false, false},
+	{"alloc_bytes", func(p *phase) float64 { return p.AllocBytes }, true, false},
+	{"mallocs", func(p *phase) float64 { return p.Mallocs }, true, false},
+	{"bytes_per_event", func(p *phase) float64 { return p.BytesPerEvent }, true, true},
+	{"mallocs_per_event", func(p *phase) float64 { return p.MallocsPerEvent }, true, true},
+}
+
+func main() {
+	gate := flag.Float64("gate", 0, "fail when a per-event allocation metric regresses more than this percent (0 = report only)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-gate pct] old.json new.json")
+		os.Exit(2)
+	}
+	oldRec, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+	newRec, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+	if oldRec.Experiment != newRec.Experiment || oldRec.Seed != newRec.Seed || oldRec.Requests != newRec.Requests {
+		fmt.Fprintf(os.Stderr, "benchcmp: records compare different runs: %s/seed%d/%dreq vs %s/seed%d/%dreq\n",
+			oldRec.Experiment, oldRec.Seed, oldRec.Requests,
+			newRec.Experiment, newRec.Seed, newRec.Requests)
+	}
+
+	failed := false
+	cmpPhase := func(label string, po, pn *phase) {
+		if po == nil || pn == nil {
+			return
+		}
+		fmt.Printf("%s (parallelism %d -> %d):\n", label, po.Parallelism, pn.Parallelism)
+		w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+		fmt.Fprintln(w, "metric\told\tnew\tdelta\t")
+		for _, m := range metrics {
+			vo, vn := m.get(po), m.get(pn)
+			if vo == 0 && vn == 0 {
+				continue
+			}
+			delta := 0.0
+			if vo != 0 {
+				delta = (vn - vo) / vo * 100
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%+.1f%%\t\n", m.name, human(vo), human(vn), delta)
+			if m.gated && *gate > 0 && m.lowerBetter && vo > 0 && delta > *gate {
+				failed = true
+				fmt.Fprintf(os.Stderr, "benchcmp: GATE: %s %s regressed %+.1f%% (> %.0f%%)\n",
+					label, m.name, delta, *gate)
+			}
+		}
+		w.Flush()
+		fmt.Println()
+	}
+	cmpPhase("sequential", oldRec.Sequential, newRec.Sequential)
+	cmpPhase("parallel", &oldRec.Parallel, &newRec.Parallel)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// human renders v with SI-ish precision: integers below 1k, otherwise 4
+// significant digits with a suffix.
+func human(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.3fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.3fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.3fk", v/1e3)
+	case v >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
