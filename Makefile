@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-mem bench-baseline bench-opt vet check clean torture fuzz smoke-live
+.PHONY: build test race bench bench-mem bench-baseline bench-opt vet check clean torture fuzz smoke-live trace-demo
 
 build:
 	$(GO) build ./...
@@ -64,13 +64,21 @@ torture: build
 smoke-live: build
 	./scripts/smoke-live.sh
 
-# Short native-fuzzing smoke over the protocol state machines and the CSV
-# round-trip; CI runs the same targets.
+# Trace one fig9-style run and write trace.json: Chrome trace_event JSON
+# with request→grant spans, token hops and ready/in-flight counters. Open
+# it in https://ui.perfetto.dev (or chrome://tracing). See EXPERIMENTS.md
+# ("Tracing a run").
+trace-demo: build
+	$(GO) run ./cmd/tokensim -trace trace.json -requests 500 -seed 1
+
+# Short native-fuzzing smoke over the protocol state machines, the CSV
+# round-trip and the Prometheus text encoder; CI runs the same targets.
 fuzz:
 	$(GO) test -run XXX -fuzz FuzzDirectedSearch -fuzztime 10s ./internal/protocol/
 	$(GO) test -run XXX -fuzz FuzzPushProbe -fuzztime 10s ./internal/protocol/
 	$(GO) test -run XXX -fuzz FuzzParseCSV -fuzztime 10s ./internal/bench/
 	$(GO) test -run XXX -fuzz FuzzEventHeap -fuzztime 10s ./internal/sim/
+	$(GO) test -run XXX -fuzz FuzzPromEncoder -fuzztime 10s ./internal/telemetry/
 
 check: build vet test race
 

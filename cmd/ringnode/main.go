@@ -10,6 +10,10 @@
 //	ringnode -id 0 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
 //	ringnode -id 1 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
 //	ringnode -id 2 -peers 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002
+//
+// With -metrics-addr each node also serves live observability over HTTP:
+// Prometheus metrics on /metrics, a liveness probe on /healthz, and the Go
+// profiling handlers under /debug/pprof/.
 package main
 
 import (
@@ -67,6 +71,7 @@ func run(args []string) error {
 		wait    = fs.Duration("wait", 3*time.Second, "settle time before and after the workload")
 		timeout = fs.Duration("timeout", 60*time.Second, "per-operation timeout")
 		observe = fs.Bool("observe", false, "log every protocol step and fault to stderr")
+		metrics = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this host:port (:0 picks a free port)")
 		faultsJ = fs.String("faults", "", "fault plan as JSON (e.g. '{\"seed\":7,\"drop_cheap\":0.2}'); pauses are simulation-only")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -88,6 +93,9 @@ func run(args []string) error {
 	if *observe {
 		opts = append(opts, core.WithObserver(traceObserver{id: *id}))
 	}
+	if *metrics != "" {
+		opts = append(opts, core.WithMetricsAddr(*metrics))
+	}
 
 	ln, err := core.NewLiveNode(*id, addrs, *id == 0, opts...)
 	if err != nil {
@@ -95,6 +103,9 @@ func run(args []string) error {
 	}
 	defer ln.Close()
 	fmt.Printf("started %s (ring of %d)\n", ln, len(addrs))
+	if addr := ln.MetricsAddr(); addr != "" {
+		fmt.Printf("metrics at http://%s/metrics (pprof under /debug/pprof/)\n", addr)
+	}
 
 	ln.Broadcaster.Subscribe(func(e tobcast.Entry) {
 		fmt.Printf("  delivered #%d from node %d: %s\n", e.Seq, e.Node, e.Payload)

@@ -2,10 +2,13 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // freePorts reserves n distinct loopback ports by listening and closing.
@@ -117,5 +120,80 @@ func TestRunArgValidation(t *testing.T) {
 		`{"pauses":[{"node":0,"at":1,"dur":5}]}`})
 	if err == nil || !strings.Contains(err.Error(), "pauses") {
 		t.Errorf("pause plan accepted: %v", err)
+	}
+}
+
+// TestThreeNodeRingServesMetrics runs the ring with -metrics-addr and
+// scrapes each node's live /metrics and /healthz mid-run.
+func TestThreeNodeRingServesMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up a real TCP ring")
+	}
+	addrs := freePorts(t, 3)
+	peers := addrs[0] + "," + addrs[1] + "," + addrs[2]
+	maddrs := freePorts(t, 3)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for id := 0; id < 3; id++ {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[id] = run([]string{
+				"-id", fmt.Sprint(id),
+				"-peers", peers,
+				"-locks", "2",
+				"-pubs", "1",
+				"-wait", "1500ms",
+				"-timeout", "30s",
+				"-metrics-addr", maddrs[id],
+			})
+		}()
+	}
+
+	// Scrape each node while it sits in its settle window.
+	for id, maddr := range maddrs {
+		var body string
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := http.Get("http://" + maddr + "/metrics")
+			if err == nil {
+				data, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr == nil && resp.StatusCode == http.StatusOK {
+					body = string(data)
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("node %d metrics never came up at %s: %v", id, maddr, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		for _, want := range []string{
+			`adaptivetoken_messages_total{kind="token"}`,
+			"# TYPE adaptivetoken_responsiveness_time_units histogram",
+			fmt.Sprintf(`adaptivetoken_node_info{node="%d"} 1`, id),
+		} {
+			if !strings.Contains(body, want) {
+				t.Errorf("node %d /metrics missing %q", id, want)
+			}
+		}
+		resp, err := http.Get("http://" + maddr + "/healthz")
+		if err != nil {
+			t.Fatalf("node %d healthz: %v", id, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("node %d healthz status %d", id, resp.StatusCode)
+		}
+	}
+
+	wg.Wait()
+	for id, err := range errs {
+		if err != nil {
+			t.Errorf("node %d: %v", id, err)
+		}
 	}
 }

@@ -13,6 +13,9 @@
 //	tokensim -exp fig9 -paper -baseline -benchjson BENCH_baseline.json
 //	                                  # sequential-vs-parallel perf record
 //	tokensim -exp fig9 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	tokensim -trace out.json           # traced fig9-style run -> Perfetto JSON
+//	tokensim -trace out.json -benchjson rec.json
+//	                                  # attach the timeline series to the record
 //	tokensim -torture                 # fault-injection sweep (see -torture-*)
 //	tokensim -torture -artifact-dir artifacts
 //	                                  # persist shrunk failure artifacts
@@ -77,6 +80,8 @@ type record struct {
 	Parallel        phase   `json:"parallel"`
 	Speedup         float64 `json:"speedup,omitempty"`
 	TablesIdentical bool    `json:"tables_identical"`
+	// Trace carries the traced run's digest and sim-time series (-trace).
+	Trace *bench.TraceSummary `json:"trace,omitempty"`
 }
 
 func run(args []string, out io.Writer) error {
@@ -93,6 +98,7 @@ func run(args []string, out io.Writer) error {
 		benchjson  = fs.String("benchjson", "", "write a machine-readable benchmark record (JSON) to this file")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file")
+		trace      = fs.String("trace", "", "run one traced fig9-style run and write Chrome trace_event JSON here")
 
 		tf tortureFlags
 	)
@@ -165,6 +171,10 @@ func run(args []string, out io.Writer) error {
 		}
 	}()
 
+	if *trace != "" {
+		return runTrace(*trace, opts, *benchjson, out)
+	}
+
 	if *baseline {
 		return runBaseline(*exp, opts, *benchjson, out)
 	}
@@ -185,6 +195,52 @@ func run(args []string, out io.Writer) error {
 			TablesIdentical: true, // single pass; nothing to diverge
 		}
 		if err := writeJSON(*benchjson, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runTrace executes one traced run (internal/bench.TraceRun), writes the
+// Chrome/Perfetto timeline to path, and — with -benchjson — attaches the
+// run digest and sampled sim-time series to the benchmark record.
+func runTrace(path string, opts bench.Options, jsonPath string, out io.Writer) error {
+	topts := bench.TraceOptions{
+		Seed:     opts.Seed,
+		Requests: opts.Requests,
+		MaxTime:  opts.MaxTime,
+	}
+	res, tr, err := bench.TraceRun(topts)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := topts.WriteTrace(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	sum := topts.Summarize(res, tr)
+	fmt.Fprintf(out, "trace: %s n=%d, %d requests, %d grants, responsiveness mean %.2f p99 %.2f\n",
+		sum.Variant, sum.N, res.Issued, res.Grants,
+		res.Responsiveness.Mean, res.Responsiveness.P99)
+	fmt.Fprintf(out, "trace: %d records (%d dropped), %d series points -> %s (load in https://ui.perfetto.dev)\n",
+		sum.Records, sum.DroppedRecords, len(sum.Series), path)
+	if jsonPath != "" {
+		rec := record{
+			Experiment: "trace",
+			Seed:       opts.Seed,
+			Requests:   opts.Requests,
+			MaxTime:    int64(opts.MaxTime),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Trace:      &sum,
+		}
+		if err := writeJSON(jsonPath, rec); err != nil {
 			return err
 		}
 	}

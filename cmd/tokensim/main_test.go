@@ -167,3 +167,65 @@ func TestRunAll(t *testing.T) {
 		}
 	}
 }
+
+// TestRunTrace: -trace writes loadable Chrome trace_event JSON and attaches
+// the digest plus sim-time series to the bench record.
+func TestRunTrace(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	recPath := filepath.Join(dir, "rec.json")
+	var sb strings.Builder
+	if err := run([]string{"-trace", tracePath, "-requests", "200", "-seed", "5",
+		"-benchjson", recPath}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "perfetto") {
+		t.Errorf("trace summary missing viewer hint:\n%s", sb.String())
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"responsiveness", "wait", "hop", "grant", "ready", "in-flight", "holder"} {
+		if !names[want] {
+			t.Errorf("trace missing %q events", want)
+		}
+	}
+
+	recData, err := os.ReadFile(recPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		Experiment string `json:"experiment"`
+		Trace      *struct {
+			Grants int64 `json:"grants"`
+			Series []struct {
+				T int64 `json:"t"`
+			} `json:"series"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal(recData, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Experiment != "trace" || rec.Trace == nil {
+		t.Fatalf("record %s missing trace digest", recData[:80])
+	}
+	if rec.Trace.Grants == 0 || len(rec.Trace.Series) == 0 {
+		t.Fatalf("empty trace digest: %+v", rec.Trace)
+	}
+}

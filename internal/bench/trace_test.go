@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"adaptivetoken/internal/metrics"
+	"adaptivetoken/internal/protocol"
+	"adaptivetoken/internal/telemetry"
+)
+
+// traceOpts is a CI-sized fig9-style traced run: n=100 binsearch under the
+// figure's mean-gap-10 Poisson load.
+func traceOpts() TraceOptions {
+	return TraceOptions{Seed: 7, Requests: 400, MaxTime: 2_000_000}
+}
+
+// TestTraceReproducesResponsiveness is the acceptance cross-check: the
+// request→grant and Definition 3 spans extracted from the exported Chrome
+// trace must reproduce the run's responsiveness and wait summaries exactly.
+func TestTraceReproducesResponsiveness(t *testing.T) {
+	res, tr, err := TraceRun(traceOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := tr.Stats(); st.Dropped != 0 {
+		t.Fatalf("ring dropped %d records; size the capacity up", st.Dropped)
+	}
+
+	var buf bytes.Buffer
+	if err := traceOpts().WriteTrace(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			Dur   float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var resps, waits []float64
+	for _, ev := range parsed.TraceEvents {
+		if ev.Phase != "X" {
+			continue
+		}
+		switch ev.Name {
+		case "responsiveness":
+			resps = append(resps, ev.Dur)
+		case "wait":
+			waits = append(waits, ev.Dur)
+		}
+	}
+	if got := metrics.Summarize(resps); got != res.Responsiveness {
+		t.Errorf("trace responsiveness spans %+v\n != run summary %+v", got, res.Responsiveness)
+	}
+	if got := metrics.Summarize(waits); got != res.Waits {
+		t.Errorf("trace wait spans %+v\n != run summary %+v", got, res.Waits)
+	}
+	if len(waits) != res.Grants {
+		t.Errorf("%d wait spans, %d grants", len(waits), res.Grants)
+	}
+}
+
+// TestTraceSeriesSampled checks the periodic sim-time series rides along.
+func TestTraceSeriesSampled(t *testing.T) {
+	opts := traceOpts()
+	// A nonzero critical section parks the token at grantees long enough
+	// for the sampler to catch a holder.
+	opts.CSTime = 40
+	res, tr, err := TraceRun(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := opts.Summarize(res, tr)
+	if len(sum.Series) < 10 {
+		t.Fatalf("only %d series points sampled", len(sum.Series))
+	}
+	prev := int64(-1)
+	holderSeen := false
+	for _, p := range sum.Series {
+		if p.T <= prev {
+			t.Fatalf("series out of order at t=%d", p.T)
+		}
+		prev = p.T
+		if p.Ready < 0 || p.InFlight < 0 {
+			t.Fatalf("negative series point %+v", p)
+		}
+		if p.Holder >= 0 {
+			holderSeen = true
+		}
+	}
+	if !holderSeen {
+		t.Fatal("holder never observed in the series")
+	}
+	if sum.Responsiveness != res.Responsiveness {
+		t.Fatal("summary responsiveness mismatch")
+	}
+	if sum.Grants != int64(res.Grants) {
+		t.Fatalf("tracer grants %d, run grants %d", sum.Grants, res.Grants)
+	}
+}
+
+// TestTraceRunVariants smoke-tests the other variants end to end.
+func TestTraceRunVariants(t *testing.T) {
+	for _, v := range []protocol.Variant{protocol.RingToken, protocol.LinearSearch} {
+		opts := traceOpts()
+		opts.Variant = v
+		opts.N = 16
+		opts.Requests = 100
+		res, tr, err := TraceRun(opts)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if res.Grants == 0 {
+			t.Fatalf("%s: no grants", v)
+		}
+		if h := tr.RespHist(); h.Count() == 0 {
+			t.Fatalf("%s: empty responsiveness histogram", v)
+		}
+	}
+}
+
+// TestTraceDefaultCapacity pins the default sizing floor.
+func TestTraceDefaultCapacity(t *testing.T) {
+	o := TraceOptions{Requests: 10}.withDefaults()
+	if o.Capacity < telemetry.DefaultCapacity {
+		t.Fatalf("capacity %d below default floor", o.Capacity)
+	}
+	if o.Variant != protocol.BinarySearch || o.N != 100 || o.MeanGap != 10 {
+		t.Fatalf("unexpected defaults %+v", o)
+	}
+}

@@ -15,13 +15,16 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"adaptivetoken/internal/faults"
 	"adaptivetoken/internal/host"
+	"adaptivetoken/internal/metrics"
 	"adaptivetoken/internal/mutex"
 	"adaptivetoken/internal/node"
 	"adaptivetoken/internal/protocol"
+	"adaptivetoken/internal/telemetry"
 	"adaptivetoken/internal/tobcast"
 	"adaptivetoken/internal/transport"
 )
@@ -30,11 +33,12 @@ import (
 type Option func(*settings)
 
 type settings struct {
-	cfg      protocol.Config
-	seed     uint64
-	timeUnit time.Duration
-	plan     faults.Plan
-	observer host.Observer
+	cfg         protocol.Config
+	seed        uint64
+	timeUnit    time.Duration
+	plan        faults.Plan
+	observer    host.Observer
+	metricsAddr string
 }
 
 // WithVariant selects the protocol variant (default BinarySearch).
@@ -101,6 +105,16 @@ func WithObserver(o host.Observer) Option {
 	return func(s *settings) { s.observer = o }
 }
 
+// WithMetricsAddr starts a live observability endpoint on addr (host:port;
+// a :0 port picks a free one) serving Prometheus text on /metrics, a
+// liveness probe on /healthz, and the Go profiling handlers under
+// /debug/pprof/. The endpoint is backed by a telemetry.Tracer observing
+// every step and fault — it composes with WithObserver — and is closed with
+// the cluster or node. The actual address is available via MetricsAddr.
+func WithMetricsAddr(addr string) Option {
+	return func(s *settings) { s.metricsAddr = addr }
+}
+
 // Cluster is an in-process ring of live nodes over a channel network —
 // the quickest way to use the library, and the configuration every example
 // runs.
@@ -111,6 +125,8 @@ type Cluster struct {
 	runtimes []*node.Runtime
 	mutexes  []*mutex.Mutex
 	bcasts   []*tobcast.Broadcaster
+	tracer   *telemetry.Tracer
+	telem    *telemetry.Server
 }
 
 // NewCluster builds and starts an n-node cluster. Node 0 bootstraps the
@@ -135,6 +151,11 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 		return nil, err
 	}
 
+	var tracer *telemetry.Tracer
+	if s.metricsAddr != "" {
+		tracer = telemetry.NewTracer(telemetry.Config{N: n})
+		s.observer = host.Tee(s.observer, tracer)
+	}
 	shared, obs, err := liveInstrumentation(s)
 	if err != nil {
 		return nil, err
@@ -152,6 +173,7 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 		runtimes: make([]*node.Runtime, n),
 		mutexes:  make([]*mutex.Mutex, n),
 		bcasts:   make([]*tobcast.Broadcaster, n),
+		tracer:   tracer,
 	}
 	ropts := []node.Option{node.WithFaults(shared)}
 	if obs != nil {
@@ -174,7 +196,47 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 		rt.Start()
 	}
 	c.runtimes[0].Bootstrap()
+	if s.metricsAddr != "" {
+		exp := &telemetry.Exporter{Tracer: tracer, Messages: c.msgCounts, Node: -1}
+		srv, err := telemetry.NewServer(s.metricsAddr, exp.WriteMetrics)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.telem = srv
+	}
 	return c, nil
+}
+
+// msgCounts aggregates the per-kind dispatch counters across every runtime,
+// sorted — the cluster-wide series the /metrics endpoint exports.
+func (c *Cluster) msgCounts() []metrics.KindCount {
+	totals := make(map[string]int64)
+	for _, rt := range c.runtimes {
+		for _, kc := range rt.MsgStatsSorted() {
+			totals[kc.Kind] += kc.Count
+		}
+	}
+	out := make([]metrics.KindCount, 0, len(totals))
+	for k, v := range totals {
+		out = append(out, metrics.KindCount{Kind: k, Count: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
+
+// Tracer returns the telemetry tracer backing the observability endpoint
+// (nil without WithMetricsAddr). Use it to export a timeline of the live
+// run (WriteChromeTrace, WriteJSONL).
+func (c *Cluster) Tracer() *telemetry.Tracer { return c.tracer }
+
+// MetricsAddr returns the observability endpoint's actual listen address
+// (empty without WithMetricsAddr).
+func (c *Cluster) MetricsAddr() string {
+	if c.telem == nil {
+		return ""
+	}
+	return c.telem.Addr()
 }
 
 // liveInstrumentation builds the shared fault injector and (optionally)
@@ -249,9 +311,14 @@ func (c *Cluster) FaultStats() map[string]int64 { return c.faults.Stats() }
 
 // Close shuts the whole cluster down.
 func (c *Cluster) Close() error {
+	if c.telem != nil {
+		c.telem.Close()
+	}
 	err := c.net.Close()
 	for _, rt := range c.runtimes {
-		rt.Stop()
+		if rt != nil {
+			rt.Stop()
+		}
 	}
 	return err
 }
@@ -263,6 +330,8 @@ type LiveNode struct {
 	Mutex       *mutex.Mutex
 	Broadcaster *tobcast.Broadcaster
 	transport   *transport.TCP
+	tracer      *telemetry.Tracer
+	telem       *telemetry.Server
 }
 
 // NewLiveNode starts node id of a ring whose members listen at addrs
@@ -286,6 +355,11 @@ func NewLiveNode(id int, addrs []string, bootstrap bool, opts ...Option) (*LiveN
 	s.cfg.N = len(addrs)
 	if err := s.cfg.Validate(); err != nil {
 		return nil, err
+	}
+	var tracer *telemetry.Tracer
+	if s.metricsAddr != "" {
+		tracer = telemetry.NewTracer(telemetry.Config{N: len(addrs)})
+		s.observer = host.Tee(s.observer, tracer)
 	}
 	shared, obs, err := liveInstrumentation(s)
 	if err != nil {
@@ -314,12 +388,35 @@ func NewLiveNode(id int, addrs []string, bootstrap bool, opts ...Option) (*LiveN
 		Mutex:       mutex.New(rt),
 		Broadcaster: tobcast.New(rt, len(addrs)),
 		transport:   tcp,
+		tracer:      tracer,
 	}
 	rt.Start()
 	if bootstrap {
 		rt.Bootstrap()
 	}
+	if s.metricsAddr != "" {
+		exp := &telemetry.Exporter{Tracer: tracer, Messages: rt.MsgStatsSorted, Node: id}
+		srv, err := telemetry.NewServer(s.metricsAddr, exp.WriteMetrics)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		ln.telem = srv
+	}
 	return ln, nil
+}
+
+// Tracer returns the telemetry tracer backing the observability endpoint
+// (nil without WithMetricsAddr).
+func (ln *LiveNode) Tracer() *telemetry.Tracer { return ln.tracer }
+
+// MetricsAddr returns the observability endpoint's actual listen address
+// (empty without WithMetricsAddr).
+func (ln *LiveNode) MetricsAddr() string {
+	if ln.telem == nil {
+		return ""
+	}
+	return ln.telem.Addr()
 }
 
 // Addr returns the node's actual listen address.
@@ -327,6 +424,9 @@ func (ln *LiveNode) Addr() string { return ln.transport.Addr() }
 
 // Close stops the node.
 func (ln *LiveNode) Close() error {
+	if ln.telem != nil {
+		ln.telem.Close()
+	}
 	ln.Runtime.Stop()
 	return nil
 }

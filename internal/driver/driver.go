@@ -269,6 +269,17 @@ func (r *Runner) InvariantErr() error { return r.invariantErr }
 // run's injector has taken so far.
 func (r *Runner) FaultSchedule() faults.Schedule { return r.faults.Schedule() }
 
+// Holder returns the ring position of the current token holder, or -1 while
+// the token is in flight (or lost). Used by the telemetry series sampler.
+func (r *Runner) Holder() int {
+	for i, n := range r.nodes {
+		if !r.dead[i] && n.HasToken() {
+			return i
+		}
+	}
+	return -1
+}
+
 // TokenCount returns live holders plus in-flight token messages; it must be
 // exactly 1 while no node has been killed.
 func (r *Runner) TokenCount() int {

@@ -104,6 +104,39 @@ type Observer interface {
 	OnFault(FaultEvent)
 }
 
+// Tee fans the trace out to every non-nil observer, in argument order. It
+// returns nil when none remain and the single observer unwrapped when only
+// one does, so hosts keep their observer-off fast path.
+func Tee(obs ...Observer) Observer {
+	live := make([]Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return teeObserver{obs: live}
+}
+
+type teeObserver struct{ obs []Observer }
+
+func (t teeObserver) OnStep(s Step) {
+	for _, o := range t.obs {
+		o.OnStep(s)
+	}
+}
+
+func (t teeObserver) OnFault(f FaultEvent) {
+	for _, o := range t.obs {
+		o.OnFault(f)
+	}
+}
+
 // SyncObserver serializes a shared observer behind a mutex so the hosts of
 // several live runtimes can feed one trace consumer (e.g. the conformance
 // checker attached to a whole cluster). Each host reports a message's send

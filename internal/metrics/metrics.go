@@ -86,6 +86,7 @@ func (s Summary) String() string {
 // ready nodes behind) and closes when any ready node is granted the token.
 type Responsiveness struct {
 	samples    []float64
+	hist       Histogram
 	readyCount int
 	open       bool
 	start      int64
@@ -105,6 +106,7 @@ func (r *Responsiveness) RequestArrived(t int64) {
 func (r *Responsiveness) Granted(t int64) {
 	if r.open {
 		r.samples = append(r.samples, float64(t-r.start))
+		r.hist.Observe(t - r.start)
 	}
 	if r.readyCount > 0 {
 		r.readyCount--
@@ -130,11 +132,17 @@ func (r *Responsiveness) Samples() []float64 {
 // Summary summarizes the recorded intervals.
 func (r *Responsiveness) Summary() Summary { return Summarize(r.samples) }
 
+// Hist returns the streaming log₂ histogram of the recorded intervals —
+// the mergeable, allocation-free view exporters scrape while a run is
+// still in flight (the exact samples stay authoritative for Summary).
+func (r *Responsiveness) Hist() *Histogram { return &r.hist }
+
 // Waits tracks per-request waiting time: from a node becoming ready to that
 // same node receiving the token.
 type Waits struct {
 	pending map[int]int64 // node → request time
 	samples []float64
+	hist    Histogram
 }
 
 // NewWaits returns an empty tracker.
@@ -157,6 +165,7 @@ func (w *Waits) Granted(node int, t int64) {
 	}
 	delete(w.pending, node)
 	w.samples = append(w.samples, float64(t-start))
+	w.hist.Observe(t - start)
 }
 
 // Outstanding returns the number of unanswered requests.
@@ -171,6 +180,9 @@ func (w *Waits) Samples() []float64 {
 
 // Summary summarizes the recorded waits.
 func (w *Waits) Summary() Summary { return Summarize(w.samples) }
+
+// Hist returns the streaming log₂ histogram of the recorded waits.
+func (w *Waits) Hist() *Histogram { return &w.hist }
 
 // Fast counter slots: the protocol message kinds plus the host's fault
 // counters, laid out in a fixed array so the per-dispatch increment on the
@@ -301,6 +313,57 @@ func (m *Messages) Snapshot() map[string]int64 {
 	}
 	for k, v := range m.extra {
 		out[k] = v
+	}
+	return out
+}
+
+// KindCount is one (kind, count) pair of a sorted snapshot.
+type KindCount struct {
+	Kind  string
+	Count int64
+}
+
+// SnapshotSorted returns the per-kind counts as a slice sorted by kind
+// name — the deterministic counterpart of Snapshot for every output that
+// gets diffed (golden traces, bench JSON, the Prometheus exporter).
+// Allocation is bounded: exactly one slice, sized up front; the fast slots
+// arrive pre-sorted (slotOrder) so the sort only runs when string-keyed
+// extras are present.
+func (m *Messages) SnapshotSorted() []KindCount {
+	out := make([]KindCount, 0, numSlots+len(m.extra))
+	for _, i := range slotOrder {
+		if v := m.slots[i]; v != 0 {
+			out = append(out, KindCount{Kind: slotNames[i], Count: v})
+		}
+	}
+	if len(m.extra) > 0 {
+		for k, v := range m.extra {
+			out = append(out, KindCount{Kind: k, Count: v})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	}
+	return out
+}
+
+// slotOrder lists the fast slots by ascending slot name, precomputed so
+// SnapshotSorted emits sorted output without sorting in the common
+// (no-extras) case.
+var slotOrder = func() [numSlots]int {
+	var ord [numSlots]int
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord[:], func(a, b int) bool { return slotNames[ord[a]] < slotNames[ord[b]] })
+	return ord
+}()
+
+// SlotKinds returns the names of every fast counter slot (the protocol
+// message kinds plus the fault counters), sorted. Exporters that must emit
+// a series for every KindSlot kind — present or not — iterate this.
+func SlotKinds() []string {
+	out := make([]string, numSlots)
+	for i, idx := range slotOrder {
+		out[i] = slotNames[idx]
 	}
 	return out
 }

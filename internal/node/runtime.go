@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"adaptivetoken/internal/host"
+	"adaptivetoken/internal/metrics"
 	"adaptivetoken/internal/protocol"
 	"adaptivetoken/internal/transport"
 )
@@ -163,6 +164,15 @@ func (r *Runtime) MsgStats() map[string]int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.host.Msgs().Snapshot()
+}
+
+// MsgStatsSorted returns the per-kind dispatch counters as a sorted slice:
+// the deterministic, allocation-bounded form diffed output and the /metrics
+// exporter consume.
+func (r *Runtime) MsgStatsSorted() []metrics.KindCount {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.host.Msgs().SnapshotSorted()
 }
 
 // Stats returns a diagnostic snapshot of the protocol state, taken under

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"strconv"
+	"time"
+
+	"adaptivetoken/internal/metrics"
+)
+
+// Exporter renders one process's observability state as Prometheus text:
+// the per-kind message counters (one series for every metrics.KindSlot
+// kind, present or not, so scrapers see a stable schema), the tracer's
+// event counters and latency histograms, and process uptime. It is the
+// standard /metrics source for ringnode and core.WithMetricsAddr.
+type Exporter struct {
+	// Tracer supplies span histograms and event counters; optional.
+	Tracer *Tracer
+	// Messages returns the current per-kind dispatch counts (sorted);
+	// called once per scrape. Optional.
+	Messages func() []metrics.KindCount
+	// Node is this process's ring position, exported as a gauge label
+	// (use -1 for an aggregate endpoint covering a whole cluster).
+	Node int
+	// Start anchors the uptime gauge; zero means "when the exporter was
+	// first scraped".
+	Start time.Time
+}
+
+// WriteMetrics encodes the current state onto p. It has the signature
+// NewServer expects.
+func (e *Exporter) WriteMetrics(p *PromWriter) {
+	if e.Start.IsZero() {
+		e.Start = time.Now()
+	}
+	p.Gauge("adaptivetoken_node_info",
+		"Ring position of this process (value is always 1).",
+		1, Label{Key: "node", Value: nodeLabel(e.Node)})
+	p.Gauge("adaptivetoken_uptime_seconds",
+		"Seconds since this exporter started.",
+		time.Since(e.Start).Seconds())
+
+	if e.Messages != nil {
+		p.CounterVec("adaptivetoken_messages_total",
+			"Protocol messages dispatched, by kind (includes the dropped/duplicated/delayed fault counters).",
+			CompleteKinds(e.Messages()), "kind")
+	}
+
+	if tr := e.Tracer; tr != nil {
+		st := tr.Stats()
+		p.Counter("adaptivetoken_grants_total",
+			"Token grants observed.", float64(st.Grants))
+		p.Counter("adaptivetoken_requests_total",
+			"Issued (non-coalesced) token requests observed.", float64(st.Requests))
+		p.Counter("adaptivetoken_faults_total",
+			"Injected faults observed.", float64(st.Faults))
+		p.Counter("adaptivetoken_trace_records_total",
+			"Trace records written to the ring buffer.", float64(st.Total))
+		p.Counter("adaptivetoken_trace_dropped_total",
+			"Trace records lost to ring wrap-around.", float64(st.Dropped))
+
+		resp := tr.RespHist()
+		p.Histogram("adaptivetoken_responsiveness_time_units",
+			"Definition 3 responsiveness intervals, in protocol time units.", &resp)
+		wait := tr.WaitHist()
+		p.Histogram("adaptivetoken_wait_time_units",
+			"Request-to-grant waiting time, in protocol time units.", &wait)
+		hold := tr.HoldHist()
+		p.Histogram("adaptivetoken_token_hold_time_units",
+			"Token possession time per holder, in protocol time units.", &hold)
+		hops := tr.HopsHist()
+		p.Histogram("adaptivetoken_token_forwards_per_grant",
+			"Token-bearing message deliveries between consecutive grants.", &hops)
+	}
+}
+
+// CompleteKinds overlays counts onto the full fast-slot schema: the result
+// has one entry per metrics.SlotKinds kind (zero when absent) plus any
+// extra kinds, sorted.
+func CompleteKinds(counts []metrics.KindCount) []metrics.KindCount {
+	slots := metrics.SlotKinds()
+	out := make([]metrics.KindCount, 0, len(slots)+len(counts))
+	i, j := 0, 0
+	for i < len(slots) || j < len(counts) {
+		switch {
+		case j >= len(counts) || (i < len(slots) && slots[i] < counts[j].Kind):
+			out = append(out, metrics.KindCount{Kind: slots[i]})
+			i++
+		case i >= len(slots) || counts[j].Kind < slots[i]:
+			out = append(out, counts[j])
+			j++
+		default: // equal
+			out = append(out, counts[j])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// nodeLabel renders the ring position, with -1 standing for a whole
+// cluster endpoint.
+func nodeLabel(n int) string {
+	if n == -1 {
+		return "cluster"
+	}
+	return strconv.Itoa(n)
+}

@@ -1,0 +1,207 @@
+package telemetry
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"adaptivetoken/internal/metrics"
+)
+
+func TestPromWriterBasic(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Counter("x_total", "A counter.", 3, Label{Key: "kind", Value: "token"})
+	p.Gauge("g", "A gauge.", 1.5)
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP x_total A counter.\n",
+		"# TYPE x_total counter\n",
+		"x_total{kind=\"token\"} 3\n",
+		"# TYPE g gauge\n",
+		"g 1.5\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromWriterHistogram(t *testing.T) {
+	var h metrics.Histogram
+	for _, v := range []int64{1, 2, 3, 100, 5000} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Histogram("lat", "Latency.", &h)
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	checkHistogramText(t, buf.String(), "lat")
+}
+
+// unescapeLabel reverses escapeLabel.
+func unescapeLabel(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '\\':
+				sb.WriteByte('\\')
+			case '"':
+				sb.WriteByte('"')
+			case 'n':
+				sb.WriteByte('\n')
+			default:
+				sb.WriteByte(s[i+1])
+			}
+			i++
+			continue
+		}
+		sb.WriteByte(s[i])
+	}
+	return sb.String()
+}
+
+// labelValue extracts the (still-escaped) value of key from a sample line,
+// honoring escaped quotes.
+func labelValue(line, key string) (string, bool) {
+	idx := strings.Index(line, key+"=\"")
+	if idx < 0 {
+		return "", false
+	}
+	rest := line[idx+len(key)+2:]
+	for i := 0; i < len(rest); i++ {
+		switch rest[i] {
+		case '\\':
+			i++
+		case '"':
+			return rest[:i], true
+		}
+	}
+	return "", false
+}
+
+// checkHistogramText asserts the exposition-format invariants of one
+// histogram: cumulative buckets are monotone, le bounds strictly increase,
+// and the +Inf bucket equals _count.
+func checkHistogramText(t *testing.T, out, name string) {
+	t.Helper()
+	var prevLE, prevCum int64 = -1, 0
+	var infVal, countVal float64 = -1, -2
+	sawInf := false
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		switch {
+		case strings.HasPrefix(line, name+"_bucket"):
+			le, ok := labelValue(line, "le")
+			if !ok {
+				t.Fatalf("bucket line without le: %q", line)
+			}
+			if le == "+Inf" {
+				sawInf = true
+				infVal = v
+				continue
+			}
+			if sawInf {
+				t.Fatalf("finite bucket after +Inf: %q", line)
+			}
+			b, err := strconv.ParseInt(le, 10, 64)
+			if err != nil {
+				t.Fatalf("non-numeric le %q: %v", le, err)
+			}
+			if b <= prevLE {
+				t.Fatalf("le bounds not increasing: %d after %d", b, prevLE)
+			}
+			if int64(v) < prevCum {
+				t.Fatalf("cumulative count decreased: %v after %d", v, prevCum)
+			}
+			prevLE, prevCum = b, int64(v)
+		case strings.HasPrefix(line, name+"_count"):
+			countVal = v
+		}
+	}
+	if !sawInf {
+		t.Fatalf("no +Inf bucket:\n%s", out)
+	}
+	if infVal != countVal {
+		t.Fatalf("+Inf bucket %v != _count %v", infVal, countVal)
+	}
+	if float64(prevCum) > countVal {
+		t.Fatalf("last finite bucket %d exceeds _count %v", prevCum, countVal)
+	}
+}
+
+// FuzzPromEncoder checks, for arbitrary label values, help strings and
+// observations: the output stays line-well-formed, label escaping
+// round-trips, and histogram buckets keep their monotonicity invariants.
+func FuzzPromEncoder(f *testing.F) {
+	f.Add("token", "Messages by kind.", int64(1), int64(100))
+	f.Add(`quo"te`, "multi\nline", int64(-5), int64(1<<40))
+	f.Add("back\\slash\nnl", `help with \ and "q"`, int64(0), int64(7))
+	f.Fuzz(func(t *testing.T, label, help string, v1, v2 int64) {
+		var h metrics.Histogram
+		h.Observe(v1)
+		h.Observe(v2)
+		var buf bytes.Buffer
+		p := NewPromWriter(&buf)
+		p.Counter("f_total", help, 1, Label{Key: "kind", Value: label})
+		p.Histogram("f_hist", help, &h)
+		if err := p.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		out := buf.String()
+
+		// Every line is either a comment or `series value`, and no label
+		// value leaks a raw newline or quote into the line structure.
+		for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+			if strings.HasPrefix(line, "# ") {
+				continue
+			}
+			sp := strings.LastIndexByte(line, ' ')
+			if sp < 0 {
+				t.Fatalf("malformed line %q", line)
+			}
+			if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+				t.Fatalf("unparseable value in %q: %v", line, err)
+			}
+		}
+
+		// Label escaping round-trips.
+		for _, line := range strings.Split(out, "\n") {
+			if !strings.HasPrefix(line, "f_total{") {
+				continue
+			}
+			esc, ok := labelValue(line, "kind")
+			if !ok {
+				t.Fatalf("no kind label in %q", line)
+			}
+			// Each invalid UTF-8 byte is sanitized to U+FFFD on output.
+			var sb strings.Builder
+			for _, r := range label {
+				sb.WriteRune(r)
+			}
+			want := sb.String()
+			if got := unescapeLabel(esc); got != want {
+				t.Fatalf("label round-trip %q -> %q -> %q, want %q", label, esc, got, want)
+			}
+		}
+
+		checkHistogramText(t, out, "f_hist")
+	})
+}

@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the live observability endpoint: an HTTP listener serving
+//
+//	/metrics        — Prometheus text exposition (the registered source)
+//	/healthz        — liveness probe ("ok")
+//	/debug/pprof/*  — the standard Go profiling handlers (CPU profile,
+//	                  heap, goroutines, ...)
+//
+// One Server runs per process (ringnode -metrics-addr, or
+// core.WithMetricsAddr); scrapes read live counters under the tracer's
+// lock, so they are safe while the node serves traffic.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer listens on addr (host:port; a :0 port picks a free one) and
+// serves metrics from write, which is called per scrape and must encode
+// the current state onto the writer. The server runs until Close.
+func NewServer(addr string, write func(*PromWriter)) (*Server, error) {
+	if write == nil {
+		return nil, fmt.Errorf("telemetry: nil metrics source")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		pw := NewPromWriter(w)
+		write(pw)
+		_ = pw.Flush()
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go func() {
+		// ErrServerClosed after Close is the normal exit; anything else
+		// has nowhere to go but the next scrape noticing the dead port.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the server's actual listen address (resolves :0 ports).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and all in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"adaptivetoken/internal/host"
+	"adaptivetoken/internal/metrics"
+	"adaptivetoken/internal/protocol"
+)
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestServerEndpoints(t *testing.T) {
+	tr := NewTracer(Config{N: 3, Capacity: 256})
+	tr.OnStep(host.Step{Kind: host.StepBootstrap, Node: 0})
+	tr.OnStep(host.Step{At: 1, Kind: host.StepRequest, Node: 2})
+	g := host.Step{At: 4, Kind: host.StepDeliver, Node: 2,
+		Msg: &protocol.Message{Kind: protocol.MsgToken, From: 1, To: 2}}
+	g.Effects.Granted = true
+	tr.OnStep(g)
+
+	msgs := metrics.NewMessages()
+	msgs.IncSlot(metrics.KindSlot(int(protocol.MsgToken)))
+	msgs.IncSlot(metrics.KindSlot(int(protocol.MsgSearch)))
+	exp := &Exporter{
+		Tracer:   tr,
+		Messages: msgs.SnapshotSorted,
+		Node:     -1,
+	}
+	srv, err := NewServer("127.0.0.1:0", exp.WriteMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body, hdr := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content-type %q", ct)
+	}
+	// Every fast-slot kind is present, even those never dispatched.
+	for _, kind := range metrics.SlotKinds() {
+		want := fmt.Sprintf("adaptivetoken_messages_total{kind=%q}", kind)
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing series %s", want)
+		}
+	}
+	for _, want := range []string{
+		`adaptivetoken_messages_total{kind="token"} 1`,
+		"adaptivetoken_grants_total 1",
+		"adaptivetoken_requests_total 1",
+		"# TYPE adaptivetoken_responsiveness_time_units histogram",
+		"adaptivetoken_responsiveness_time_units_count 1",
+		`adaptivetoken_node_info{node="cluster"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	checkHistogramText(t, body, "adaptivetoken_responsiveness_time_units")
+
+	code, body, _ = get(t, base+"/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body, _ = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+	// A real (short) CPU profile round-trip.
+	code, body, _ = get(t, base+"/debug/pprof/profile?seconds=1")
+	if code != http.StatusOK || len(body) == 0 {
+		t.Fatalf("/debug/pprof/profile = %d (%d bytes)", code, len(body))
+	}
+}
+
+func TestNewServerErrors(t *testing.T) {
+	if _, err := NewServer("127.0.0.1:0", nil); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := NewServer("256.0.0.1:bad", func(*PromWriter) {}); err == nil {
+		t.Fatal("bad addr accepted")
+	}
+}

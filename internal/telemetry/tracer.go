@@ -1,0 +1,270 @@
+package telemetry
+
+import (
+	"sync"
+
+	"adaptivetoken/internal/host"
+	"adaptivetoken/internal/metrics"
+	"adaptivetoken/internal/protocol"
+	"adaptivetoken/internal/sim"
+)
+
+// Config sizes a Tracer.
+type Config struct {
+	// N is the ring size (number of nodes); per-node span state is a
+	// flat array indexed by node id.
+	N int
+	// Capacity is the ring-buffer size in records; when full, the oldest
+	// records are overwritten (DroppedRecords counts them). 0 means
+	// DefaultCapacity.
+	Capacity int
+}
+
+// DefaultCapacity holds ~2 MB of 40-byte records — several minutes of
+// steady traffic on a busy ring before wrap-around.
+const DefaultCapacity = 1 << 16
+
+// Tracer records typed protocol events into a fixed-capacity ring buffer
+// and maintains streaming histograms, implementing host.Observer. It
+// derives spans from the step stream with the exact state machines the
+// driver's metrics use, so exported span durations reproduce the run's
+// summaries (tested in internal/bench).
+//
+// All methods are safe for concurrent use: a mutex serializes recording
+// against scrapes and exports. Sim hosts call it single-threaded (the
+// mutex is uncontended); live clusters already serialize observers.
+type Tracer struct {
+	mu sync.Mutex
+
+	ring  []Record
+	total uint64 // records ever written; ring index = total % len(ring)
+
+	// Span state, mirrored from the step stream.
+	waitStart []sim.Time // per node; -1 = no outstanding request
+	holdStart []sim.Time // per node; -1 = not holding
+	respStart sim.Time
+	respOpen  bool
+	ready     int
+	hops      int64 // token forwards since the last grant
+
+	// Streaming histograms (scraped by the Prometheus exporter).
+	waitHist metrics.Histogram
+	respHist metrics.Histogram
+	holdHist metrics.Histogram
+	hopsHist metrics.Histogram // forwards per grant
+
+	grants   int64
+	requests int64
+	faults   int64
+}
+
+// NewTracer builds a tracer for an n-node ring.
+func NewTracer(cfg Config) *Tracer {
+	n := cfg.N
+	if n < 1 {
+		n = 1
+	}
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	t := &Tracer{
+		ring:      make([]Record, capacity),
+		waitStart: make([]sim.Time, n),
+		holdStart: make([]sim.Time, n),
+	}
+	for i := range t.waitStart {
+		t.waitStart[i] = -1
+		t.holdStart[i] = -1
+	}
+	return t
+}
+
+// push appends one record, overwriting the oldest when the ring is full.
+func (t *Tracer) push(r Record) {
+	t.ring[t.total%uint64(len(t.ring))] = r
+	t.total++
+}
+
+// OnStep implements host.Observer: it classifies the step, updates the
+// span state machines, and records the resulting events.
+func (t *Tracer) OnStep(s host.Step) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	node := s.Node
+	switch s.Kind {
+	case host.StepBootstrap:
+		if t.inRange(node) {
+			t.holdStart[node] = s.At
+		}
+	case host.StepRequest:
+		t.requests++
+		t.push(Record{At: s.At, Kind: RecRequest, Node: int32(node)})
+		if t.inRange(node) && t.waitStart[node] < 0 {
+			t.waitStart[node] = s.At
+		}
+		// Definition 3: an interval opens when the ready count rises
+		// from zero (mirrors metrics.Responsiveness.RequestArrived).
+		t.ready++
+		if !t.respOpen {
+			t.respOpen = true
+			t.respStart = s.At
+		}
+	case host.StepDeliver:
+		t.onDeliver(s)
+	}
+	if s.Effects.Granted {
+		t.onGranted(s.At, node)
+	}
+	// A step that ships a token-bearing message closes the holder's
+	// possession span.
+	if t.inRange(node) && t.holdStart[node] >= 0 {
+		for _, m := range s.Effects.Msgs {
+			if m.Kind.Expensive() {
+				dur := s.At - t.holdStart[node]
+				t.push(Record{At: s.At, Start: t.holdStart[node], Kind: RecHoldSpan, Node: int32(node)})
+				t.holdHist.Observe(int64(dur))
+				t.holdStart[node] = -1
+				break
+			}
+		}
+	}
+}
+
+// onDeliver records message arrivals by class and opens possession spans
+// on token arrival.
+func (t *Tracer) onDeliver(s host.Step) {
+	if s.Msg == nil {
+		return
+	}
+	m := *s.Msg
+	switch {
+	case m.Kind.Expensive():
+		t.hops++
+		t.push(Record{At: s.At, Kind: RecHop, Node: int32(m.To), A: int64(m.From), B: int64(m.Kind)})
+		if t.inRange(m.To) {
+			t.holdStart[m.To] = s.At
+		}
+	case m.Kind == protocol.MsgRecoveryProbe || m.Kind == protocol.MsgRecoveryReply:
+		t.push(Record{At: s.At, Kind: RecRecovery, Node: int32(m.To), A: int64(m.From), B: int64(m.Kind)})
+	default:
+		t.push(Record{At: s.At, Kind: RecProbe, Node: int32(m.To), A: int64(m.From), B: int64(m.Kind)})
+	}
+}
+
+// onGranted closes the granted node's wait span and the open
+// responsiveness interval (mirrors metrics.Responsiveness.Granted and
+// metrics.Waits.Granted).
+func (t *Tracer) onGranted(at sim.Time, node int) {
+	t.grants++
+	t.push(Record{At: at, Kind: RecGrant, Node: int32(node), A: t.hops})
+	t.hopsHist.Observe(t.hops)
+	t.hops = 0
+	if t.inRange(node) && t.waitStart[node] >= 0 {
+		t.push(Record{At: at, Start: t.waitStart[node], Kind: RecWaitSpan, Node: int32(node)})
+		t.waitHist.Observe(int64(at - t.waitStart[node]))
+		t.waitStart[node] = -1
+	}
+	if t.respOpen {
+		t.push(Record{At: at, Start: t.respStart, Kind: RecRespSpan, Node: int32(node)})
+		t.respHist.Observe(int64(at - t.respStart))
+	}
+	if t.ready > 0 {
+		t.ready--
+	}
+	if t.ready > 0 {
+		t.respOpen = true
+		t.respStart = at
+	} else {
+		t.respOpen = false
+	}
+}
+
+// OnFault implements host.Observer.
+func (t *Tracer) OnFault(f host.FaultEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.faults++
+	node := int32(f.Node)
+	if f.Kind == host.FaultDrop || f.Kind == host.FaultDup || f.Kind == host.FaultDelay {
+		node = int32(f.Msg.To)
+	}
+	t.push(Record{At: f.At, Kind: RecFault, Node: node, A: int64(f.Kind), B: int64(f.Msg.Kind)})
+}
+
+// Sample records one periodic series point: the current ready count,
+// in-flight event count, and token holder (-1 if unknown).
+func (t *Tracer) Sample(at sim.Time, ready, inFlight, holder int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.push(Record{At: at, Kind: RecSample, Node: int32(holder), A: int64(ready), B: int64(inFlight)})
+}
+
+func (t *Tracer) inRange(node int) bool {
+	return node >= 0 && node < len(t.waitStart)
+}
+
+// Stats is a point-in-time summary of the tracer.
+type Stats struct {
+	// Recorded is the number of records currently held in the ring.
+	Recorded int
+	// Total is the number of records ever written.
+	Total uint64
+	// Dropped is how many old records wrap-around has overwritten.
+	Dropped uint64
+	// Grants, Requests and Faults count the respective events.
+	Grants, Requests, Faults int64
+}
+
+// Stats returns the tracer's counters.
+func (t *Tracer) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := Stats{
+		Total:    t.total,
+		Grants:   t.grants,
+		Requests: t.requests,
+		Faults:   t.faults,
+	}
+	st.Recorded = int(st.Total)
+	if st.Recorded > len(t.ring) {
+		st.Recorded = len(t.ring)
+		st.Dropped = st.Total - uint64(len(t.ring))
+	}
+	return st
+}
+
+// WaitHist returns a copy of the request→grant wait histogram.
+func (t *Tracer) WaitHist() metrics.Histogram { return t.histCopy(&t.waitHist) }
+
+// RespHist returns a copy of the responsiveness-interval histogram.
+func (t *Tracer) RespHist() metrics.Histogram { return t.histCopy(&t.respHist) }
+
+// HoldHist returns a copy of the token-hold-time histogram.
+func (t *Tracer) HoldHist() metrics.Histogram { return t.histCopy(&t.holdHist) }
+
+// HopsHist returns a copy of the forwards-per-grant histogram.
+func (t *Tracer) HopsHist() metrics.Histogram { return t.histCopy(&t.hopsHist) }
+
+func (t *Tracer) histCopy(h *metrics.Histogram) metrics.Histogram {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return *h
+}
+
+// Records calls fn for every record currently in the ring, oldest first,
+// under the tracer's lock. fn must not call back into the tracer.
+func (t *Tracer) Records(fn func(Record)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := uint64(len(t.ring))
+	start := uint64(0)
+	count := t.total
+	if count > n {
+		start = t.total - n
+		count = n
+	}
+	for i := uint64(0); i < count; i++ {
+		fn(t.ring[(start+i)%n])
+	}
+}

@@ -2,7 +2,10 @@
 # smoke-live.sh boots a real three-node ring over TCP loopback: each
 # process takes the distributed lock once and publishes one totally
 # ordered message, then exits. Any node failing (lock timeout, transport
-# error, nonzero exit) fails the smoke. Run via `make smoke-live`.
+# error, nonzero exit) fails the smoke. Each node also serves the
+# telemetry endpoint (-metrics-addr); the smoke curls /healthz, scrapes
+# /metrics for the expected Prometheus series, and pulls a 1-second CPU
+# profile from /debug/pprof/profile. Run via `make smoke-live`.
 set -euo pipefail
 
 GO=${GO:-go}
@@ -27,12 +30,49 @@ peers="127.0.0.1:$base,127.0.0.1:$((base + 1)),127.0.0.1:$((base + 2))"
 echo "smoke-live: ring at $peers"
 for id in 0 1 2; do
 	"$tmp/ringnode" -id "$id" -peers "$peers" \
-		-locks 1 -pubs 1 -wait 1s -timeout 30s \
+		-locks 1 -pubs 1 -wait 2s -timeout 30s \
+		-metrics-addr "127.0.0.1:$((base + 10 + id))" \
 		>"$tmp/node$id.log" 2>&1 &
 	pids+=($!)
 done
 
 status=0
+
+# curl_retry URL PATTERN: scrape URL until PATTERN appears (the workload
+# needs a moment to generate traffic) or the deadline passes.
+curl_retry() {
+	local url=$1 pattern=$2 deadline=$((SECONDS + 15)) body=""
+	while [ "$SECONDS" -lt "$deadline" ]; do
+		body=$(curl -fsS --max-time 2 "$url" 2>/dev/null || true)
+		if printf '%s' "$body" | grep -q "$pattern"; then
+			return 0
+		fi
+		sleep 0.2
+	done
+	echo "smoke-live: $url never matched $pattern" >&2
+	return 1
+}
+
+# Telemetry checks run while the nodes are still settling/working: health,
+# a live CPU profile (started early, while the node is guaranteed alive),
+# and the expected Prometheus series once token traffic has flowed.
+for id in 0 1 2; do
+	maddr="127.0.0.1:$((base + 10 + id))"
+	curl_retry "http://$maddr/healthz" "^ok$" || status=1
+done
+curl -fsS --max-time 10 -o "$tmp/profile.pb.gz" \
+	"http://127.0.0.1:$((base + 10))/debug/pprof/profile?seconds=1" &
+profile_pid=$!
+for id in 0 1 2; do
+	maddr="127.0.0.1:$((base + 10 + id))"
+	curl_retry "http://$maddr/metrics" 'adaptivetoken_messages_total{kind="token"}' || status=1
+	curl_retry "http://$maddr/metrics" '^# TYPE adaptivetoken_responsiveness_time_units histogram$' || status=1
+done
+if ! wait "$profile_pid" || [ ! -s "$tmp/profile.pb.gz" ]; then
+	echo "smoke-live: /debug/pprof/profile fetch failed" >&2
+	status=1
+fi
+
 for id in 0 1 2; do
 	if ! wait "${pids[$id]}"; then
 		status=1
