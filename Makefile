@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-mem bench-baseline bench-opt vet check clean torture fuzz smoke-live trace-demo
+.PHONY: build test race bench bench-mem bench-baseline bench-opt bench-wheel vet check clean torture fuzz smoke-live trace-demo
 
 build:
 	$(GO) build ./...
@@ -24,15 +24,17 @@ bench:
 	$(GO) test -run XXX -bench . -benchmem ./internal/history/ ./internal/bench/
 	$(GO) test -run XXX -bench . -benchmem .
 
-# Memory-focused benchmarks plus the allocation-regression gate: the
-# engine micro-benchmarks (0 B/op budget on the typed event paths), the
-# fig9 slice (B/op ÷ events/op = bytes/event), and the checked-in
-# per-event budget of internal/bench/alloc_budget.json. See DESIGN.md §8
-# and EXPERIMENTS.md ("Allocation metrics").
+# Memory-focused benchmarks plus the allocation- and throughput-regression
+# gates: the engine micro-benchmarks (0 B/op budget on the typed event
+# paths, wheel-vs-heap unit-delay comparison), the fig9 slice (B/op ÷
+# events/op = bytes/event), the checked-in per-event budget of
+# internal/bench/alloc_budget.json, and the sequential events/sec floor of
+# internal/bench/perf_budget.json. See DESIGN.md §8/§10 and EXPERIMENTS.md
+# ("Allocation metrics", "Throughput gate").
 bench-mem:
 	$(GO) test -run XXX -bench 'BenchmarkEngine' -benchmem ./internal/sim/
 	$(GO) test -run XXX -bench 'BenchmarkFig9Slice' -benchmem ./internal/bench/
-	$(GO) test -run 'TestAllocationBudget|TestEngineSteadyStateAllocFree|TestCompactToAllocFree' \
+	$(GO) test -run 'TestAllocationBudget|TestThroughputBudget|TestEngineSteadyStateAllocFree|TestCompactToAllocFree' \
 		-v ./internal/bench/ ./internal/sim/ ./internal/history/
 
 # Regenerate BENCH_baseline.json: paper-scale Figure 9, sequential oracle
@@ -48,6 +50,17 @@ bench-opt: build
 	$(GO) run ./cmd/tokensim -exp fig9 -paper -parallel 4 -baseline \
 		-benchjson BENCH_opt.json
 	$(GO) run ./scripts/benchcmp BENCH_baseline.json BENCH_opt.json
+
+# Regenerate BENCH_wheel.json: the same paper-scale Figure 9 run as
+# bench-baseline/bench-opt under the timing-wheel scheduler, plus the
+# fig9big N=10^5 scaling sweep (-big). Compared against both checked-in
+# records; the gated comparison against BENCH_opt.json fails on a >10%
+# per-event allocation or events/sec regression.
+bench-wheel: build
+	$(GO) run ./cmd/tokensim -exp fig9 -paper -parallel 4 -baseline -big \
+		-benchjson BENCH_wheel.json
+	$(GO) run ./scripts/benchcmp BENCH_baseline.json BENCH_wheel.json
+	$(GO) run ./scripts/benchcmp -gate 10 BENCH_opt.json BENCH_wheel.json
 
 # Randomized fault-injection torture sweep: 9 seeds × 4 fault mixes ×
 # 3 variants = 108 scenarios, each asserting single-token safety, liveness
@@ -78,6 +91,7 @@ fuzz:
 	$(GO) test -run XXX -fuzz FuzzPushProbe -fuzztime 10s ./internal/protocol/
 	$(GO) test -run XXX -fuzz FuzzParseCSV -fuzztime 10s ./internal/bench/
 	$(GO) test -run XXX -fuzz FuzzEventHeap -fuzztime 10s ./internal/sim/
+	$(GO) test -run XXX -fuzz FuzzTimingWheel -fuzztime 10s ./internal/sim/
 	$(GO) test -run XXX -fuzz FuzzPromEncoder -fuzztime 10s ./internal/telemetry/
 
 check: build vet test race

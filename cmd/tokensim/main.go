@@ -12,6 +12,10 @@
 //	tokensim -exp fig9 -parallel 4    # worker-pool size (0 = GOMAXPROCS)
 //	tokensim -exp fig9 -paper -baseline -benchjson BENCH_baseline.json
 //	                                  # sequential-vs-parallel perf record
+//	tokensim -exp fig9big -nodes 20000 # fig9 shape swept to big rings (default 1e5)
+//	tokensim -exp fig9 -scheduler heap # reference 4-ary-heap scheduler
+//	tokensim -exp fig9 -paper -baseline -big -benchjson BENCH_wheel.json
+//	                                  # timing-wheel record + N=1e5 scaling pass
 //	tokensim -exp fig9 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	tokensim -trace out.json           # traced fig9-style run -> Perfetto JSON
 //	tokensim -trace out.json -benchjson rec.json
@@ -76,10 +80,15 @@ type record struct {
 	Requests        int     `json:"requests"`
 	MaxTime         int64   `json:"max_time"`
 	GOMAXPROCS      int     `json:"gomaxprocs"`
+	Scheduler       string  `json:"scheduler"`
 	Sequential      *phase  `json:"sequential,omitempty"`
 	Parallel        phase   `json:"parallel"`
 	Speedup         float64 `json:"speedup,omitempty"`
 	TablesIdentical bool    `json:"tables_identical"`
+	// Fig9Big carries the -big scaling pass: the fig9big experiment run to
+	// Fig9BigNodes ring positions after the headline phases.
+	Fig9Big      *phase `json:"fig9big,omitempty"`
+	Fig9BigNodes int    `json:"fig9big_nodes,omitempty"`
 	// Trace carries the traced run's digest and sim-time series (-trace).
 	Trace *bench.TraceSummary `json:"trace,omitempty"`
 }
@@ -95,6 +104,9 @@ func run(args []string, out io.Writer) error {
 		requests   = fs.Int("requests", 0, "requests per run (0 = preset default)")
 		parallel   = fs.Int("parallel", 0, "simulation worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 		baseline   = fs.Bool("baseline", false, "run sequentially and in parallel, verify identical tables, record speedup")
+		big        = fs.Bool("big", false, "with -baseline: append a fig9big scaling pass (N to 1e5) to the record")
+		nodes      = fs.Int("nodes", 0, "override the largest ring of the fig9big sweep (0 = 100000)")
+		scheduler  = fs.String("scheduler", "wheel", "event scheduler: wheel (timing wheel) or heap (reference)")
 		benchjson  = fs.String("benchjson", "", "write a machine-readable benchmark record (JSON) to this file")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file")
@@ -143,6 +155,12 @@ func run(args []string, out io.Writer) error {
 		opts.MaxTime = sim.Time(*requests) * 10_000
 	}
 	opts.Parallelism = *parallel
+	opts.Nodes = *nodes
+	sched, err := sim.ParseScheduler(*scheduler)
+	if err != nil {
+		return err
+	}
+	opts.Scheduler = sched
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -176,7 +194,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *baseline {
-		return runBaseline(*exp, opts, *benchjson, out)
+		return runBaseline(*exp, opts, *benchjson, *big, out)
 	}
 
 	text, ph, err := measure(*exp, opts, *csv)
@@ -191,6 +209,7 @@ func run(args []string, out io.Writer) error {
 			Requests:        opts.Requests,
 			MaxTime:         int64(opts.MaxTime),
 			GOMAXPROCS:      runtime.GOMAXPROCS(0),
+			Scheduler:       opts.Scheduler.String(),
 			Parallel:        ph,
 			TablesIdentical: true, // single pass; nothing to diverge
 		}
@@ -251,7 +270,7 @@ func runTrace(path string, opts bench.Options, jsonPath string, out io.Writer) e
 // the configured parallelism — asserts byte-identical tables, and writes
 // the combined perf record. This is how BENCH_baseline.json is generated
 // and regenerated; see EXPERIMENTS.md.
-func runBaseline(exp string, opts bench.Options, jsonPath string, out io.Writer) error {
+func runBaseline(exp string, opts bench.Options, jsonPath string, big bool, out io.Writer) error {
 	seqOpts := opts
 	seqOpts.Parallelism = 1
 	seqText, seqPhase, err := measure(exp, seqOpts, false)
@@ -269,12 +288,27 @@ func runBaseline(exp string, opts bench.Options, jsonPath string, out io.Writer)
 		Requests:        opts.Requests,
 		MaxTime:         int64(opts.MaxTime),
 		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Scheduler:       opts.Scheduler.String(),
 		Sequential:      &seqPhase,
 		Parallel:        parPhase,
 		TablesIdentical: identical,
 	}
 	if parPhase.WallSeconds > 0 {
 		rec.Speedup = seqPhase.WallSeconds / parPhase.WallSeconds
+	}
+	if big {
+		_, bigPhase, err := measure("fig9big", opts, false)
+		if err != nil {
+			return fmt.Errorf("fig9big: %w", err)
+		}
+		rec.Fig9Big = &bigPhase
+		rec.Fig9BigNodes = opts.Nodes
+		if rec.Fig9BigNodes == 0 {
+			rec.Fig9BigNodes = 100_000
+		}
+		fmt.Fprintf(out, "fig9big: n to %d, %d runs, %d events in %.2fs (%.0f events/sec)\n",
+			rec.Fig9BigNodes, bigPhase.Stats.Runs, bigPhase.Stats.SimEvents,
+			bigPhase.WallSeconds, bigPhase.EventsPerSec)
 	}
 	if jsonPath == "" {
 		jsonPath = "BENCH_baseline.json"
@@ -283,8 +317,8 @@ func runBaseline(exp string, opts bench.Options, jsonPath string, out io.Writer)
 		return err
 	}
 	fmt.Fprint(out, parText)
-	fmt.Fprintf(out, "baseline: sequential %.2fs, parallel(%d) %.2fs, speedup %.2fx, %s -> %s\n",
-		seqPhase.WallSeconds, parPhase.Parallelism, parPhase.WallSeconds, rec.Speedup,
+	fmt.Fprintf(out, "baseline: scheduler %s, sequential %.2fs, parallel(%d) %.2fs, speedup %.2fx, %s -> %s\n",
+		opts.Scheduler, seqPhase.WallSeconds, parPhase.Parallelism, parPhase.WallSeconds, rec.Speedup,
 		identicalWord(identical), jsonPath)
 	if !identical {
 		return fmt.Errorf("parallel tables diverge from the sequential oracle")

@@ -50,6 +50,13 @@ type Options struct {
 	// Parallelism is the worker-pool size experiments fan their runs
 	// across: 0 means runtime.GOMAXPROCS(0), 1 runs sequentially.
 	Parallelism int
+	// Scheduler selects the simulation engine's event scheduler for every
+	// run (zero value: sim.SchedulerWheel). The heap/wheel equivalence
+	// tests run experiments under both and diff the tables.
+	Scheduler sim.Scheduler
+	// Nodes, when > 0, overrides the largest ring size of the fig9big
+	// scaling sweep (the -nodes CLI flag); other experiments ignore it.
+	Nodes int
 	// Stats, when non-nil, accumulates totals (runs, simulated events,
 	// messages, grants) across every run for benchmark records.
 	Stats *RunStats
@@ -177,6 +184,7 @@ func ParseCSV(s string) (Table, error) {
 func runJob(j Job, opts Options) (driver.Result, error) {
 	r, err := driver.New(j.Cfg, driver.Options{
 		Seed:          opts.Seed,
+		Scheduler:     opts.Scheduler,
 		Delay:         j.Delay,
 		CSTime:        j.CSTime,
 		TrackFairness: j.TrackFairness,
@@ -258,6 +266,75 @@ func Figure10(opts Options) (Table, error) {
 			"log2(n)": math.Log2(n),
 			"n/2":     n / 2,
 		}}
+		for _, v := range variants {
+			p.Y[v.String()] = res[k].Responsiveness.Mean
+			k++
+		}
+		t.Points = append(t.Points, p)
+	}
+	return t, nil
+}
+
+// fig9bigEventCap bounds the per-point work of the scaling sweep: requests
+// are capped so that requests × n stays under it, because LinearSearch's
+// gimme chases the token hop by hop (O(n) cheap messages per request) and
+// would otherwise turn the N=10⁵ point into ~10⁹ events. Ring and binary
+// search cost far less; the cap keeps the whole sweep at tens of millions
+// of events.
+const fig9bigEventCap = 20_000_000
+
+// fig9bigRequests is the per-point request count of the scaling sweep.
+func fig9bigRequests(requests, n int) int {
+	if limit := fig9bigEventCap / n; requests > limit {
+		requests = limit
+	}
+	if requests < 200 {
+		requests = 200
+	}
+	return requests
+}
+
+// Figure9Big is the Figure 9 shape pushed far beyond the paper's axis: the
+// same fixed load (mean request gap 10) swept to rings of 10⁵ nodes, which
+// only became tractable with the timing-wheel scheduler and the O(1)
+// invariant check (ROADMAP open item 2). Excluded from All(): its largest
+// point is deliberately heavyweight — run it explicitly (`tokensim -exp
+// fig9big`, `make bench-wheel`). Options.Nodes overrides the largest ring.
+func Figure9Big(opts Options) (Table, error) {
+	opts = opts.withDefaults()
+	ns := []int{1_000, 10_000, 100_000}
+	if opts.Nodes > 0 {
+		capped := ns[:0:0]
+		for _, n := range ns {
+			if n < opts.Nodes {
+				capped = append(capped, n)
+			}
+		}
+		ns = append(capped, opts.Nodes)
+	}
+	variants := []protocol.Variant{protocol.RingToken, protocol.LinearSearch, protocol.BinarySearch}
+	t := Table{
+		Name:   "Figure 9 at scale — responsiveness, fixed load (mean gap 10), n to 1e5",
+		XLabel: "n",
+		Series: []string{"ring", "linear", "binsearch", "log2(n)"},
+	}
+	jobs := make([]Job, 0, len(ns)*len(variants))
+	for _, n := range ns {
+		for _, v := range variants {
+			jobs = append(jobs, Job{
+				Cfg:      figureConfig(v, n),
+				Gen:      workload.Poisson{N: n, MeanGap: 10},
+				Requests: fig9bigRequests(opts.Requests, n),
+			})
+		}
+	}
+	res, err := opts.runner().RunJobs(opts, jobs)
+	if err != nil {
+		return t, err
+	}
+	k := 0
+	for _, n := range ns {
+		p := Point{X: float64(n), Y: map[string]float64{"log2(n)": math.Log2(float64(n))}}
 		for _, v := range variants {
 			p.Y[v.String()] = res[k].Responsiveness.Mean
 			k++
@@ -782,6 +859,8 @@ func Lookup(id string) (func(Options) (Table, error), bool) {
 		return Figure9, true
 	case "fig10":
 		return Figure10, true
+	case "fig9big":
+		return Figure9Big, true
 	case "directed":
 		return AblationDirected, true
 	case "trapgc":
@@ -809,7 +888,9 @@ func Lookup(id string) (func(Options) (Table, error), bool) {
 	}
 }
 
-// IDs lists the experiment identifiers.
+// IDs lists the experiment identifiers. fig9big is listed (and reachable
+// via Lookup) but deliberately not part of All(): its N=10⁵ point is a
+// heavyweight scaling run, invoked explicitly.
 func IDs() []string {
-	return []string{"fig9", "fig10", "directed", "trapgc", "speed", "push", "throttle", "fairness", "saturation", "jitter", "tails", "resptails", "msgcost"}
+	return []string{"fig9", "fig9big", "fig10", "directed", "trapgc", "speed", "push", "throttle", "fairness", "saturation", "jitter", "tails", "resptails", "msgcost"}
 }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether this binary was built with the race detector,
+// whose ~10x slowdown makes wall-clock throughput gates meaningless.
+const raceEnabled = false

@@ -1,0 +1,54 @@
+package driver_test
+
+import (
+	"fmt"
+	"testing"
+
+	"adaptivetoken/internal/driver"
+	"adaptivetoken/internal/protocol"
+	"adaptivetoken/internal/sim"
+	"adaptivetoken/internal/workload"
+)
+
+// TestSchedulerEquivalence is the property the timing-wheel rewrite hangs on:
+// the wheel and the reference 4-ary heap must produce the exact same (at,
+// seq) total order, so the full observed trace — event times, step kinds,
+// message payloads, timer arms, grant flags — digests identically under both
+// schedulers on all three protocol variants at two seeds. Each digest is
+// additionally pinned to the PR 4 golden corpus, so this fails loudly if
+// either scheduler (not just the pair) drifts from the pre-rewrite engine.
+func TestSchedulerEquivalence(t *testing.T) {
+	variants := []protocol.Variant{protocol.RingToken, protocol.LinearSearch, protocol.BinarySearch}
+	schedulers := []sim.Scheduler{sim.SchedulerWheel, sim.SchedulerHeap}
+	for _, v := range variants {
+		for _, seed := range []uint64{1, 2} {
+			key := fmt.Sprintf("%s/seed%d", v, seed)
+			digests := make(map[sim.Scheduler]uint64, len(schedulers))
+			for _, sched := range schedulers {
+				cfg := protocol.Config{Variant: v, N: 64}
+				if v != protocol.RingToken {
+					cfg.TrapGC = protocol.GCRotation
+				}
+				dig := newTraceDigest()
+				r, err := driver.New(cfg, driver.Options{Seed: seed, Scheduler: sched, Observer: dig})
+				if err != nil {
+					t.Fatalf("%s/%s: %v", key, sched, err)
+				}
+				if got := r.Engine().Scheduler(); got != sched {
+					t.Fatalf("%s: runner engine scheduler %v, want %v", key, got, sched)
+				}
+				if _, err := r.RunWorkload(workload.Poisson{N: cfg.N, MeanGap: 10}, 1500, 5_000_000); err != nil {
+					t.Fatalf("%s/%s: %v", key, sched, err)
+				}
+				digests[sched] = dig.h
+			}
+			if digests[sim.SchedulerWheel] != digests[sim.SchedulerHeap] {
+				t.Errorf("%s: scheduler divergence — wheel %#016x, heap %#016x",
+					key, digests[sim.SchedulerWheel], digests[sim.SchedulerHeap])
+			}
+			if want, ok := goldenTraces[key]; ok && digests[sim.SchedulerWheel] != want {
+				t.Errorf("%s: trace digest %#016x, want golden %#016x", key, digests[sim.SchedulerWheel], want)
+			}
+		}
+	}
+}

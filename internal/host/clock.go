@@ -9,7 +9,7 @@ import (
 )
 
 // SimClock adapts the discrete-event engine to the host Clock: Now is the
-// virtual time, AfterFunc schedules on the event heap.
+// virtual time, AfterFunc schedules on the engine's event scheduler.
 type SimClock struct {
 	Eng *sim.Engine
 }
@@ -21,7 +21,7 @@ func (c SimClock) Now() sim.Time { return c.Eng.Now() }
 func (c SimClock) AfterFunc(d sim.Time, fn func()) { c.Eng.After(d, fn) }
 
 // AfterTimer implements TimerScheduler: armed timers become typed event
-// records on the engine's heap instead of captured closures.
+// records in the engine's slab instead of captured closures.
 func (c SimClock) AfterTimer(d sim.Time, node int, tm protocol.Timer) {
 	c.Eng.AfterTimer(d, node, tm)
 }

@@ -46,7 +46,7 @@ type Network interface {
 
 // TimerScheduler is the allocation-free timer path: a Clock that also
 // implements it receives armed timers as typed records instead of closures.
-// SimClock implements it over the engine's typed event heap; the wall clock
+// SimClock implements it over the engine's typed event scheduler; the wall clock
 // keeps the closure path (live timers are sparse).
 type TimerScheduler interface {
 	AfterTimer(d sim.Time, node int, tm protocol.Timer)

@@ -11,14 +11,29 @@
 //
 // The event core is allocation-free in steady state: events are typed value
 // records (message delivery, timer firing, or a closure escape hatch) stored
-// in a slab with a free-list, ordered by a flat 4-ary min-heap of small
-// (time, seq, slot) keys. Scheduling a message or timer copies the payload
-// into a recycled slab slot — no closure, no per-event heap object, no
-// interface boxing. See DESIGN.md §8 ("Allocation discipline").
+// in a slab with a free-list. Scheduling a message or timer copies the
+// payload into a recycled slab slot — no closure, no per-event heap object,
+// no interface boxing. See DESIGN.md §8 ("Allocation discipline").
+//
+// Ordering is maintained by one of two schedulers (see DESIGN.md §10):
+//
+//   - SchedulerWheel (the default): a timing wheel of wheelSize buckets
+//     indexed by at&wheelMask for events inside the horizon [now, now+W) —
+//     the paper's cost model puts nearly every event at now+1, which the
+//     wheel schedules and pops in O(1) — backed by a far-future overflow
+//     min-heap that cascades into the wheel as the clock advances.
+//   - SchedulerHeap: the flat 4-ary min-heap of (at, seq, slot) keys from
+//     the PR 4 zero-alloc rewrite, kept as the reference scheduler the
+//     equivalence and fuzz tests run the wheel against.
+//
+// Both produce the exact same (at, seq) total order — equal-time FIFO — so
+// golden traces, experiment tables and sim_events counts are identical under
+// either.
 package sim
 
 import (
 	"errors"
+	"fmt"
 
 	"adaptivetoken/internal/protocol"
 )
@@ -38,6 +53,43 @@ type Handler interface {
 	FireTimer(node int, tm protocol.Timer)
 }
 
+// Scheduler selects the engine's event-ordering structure.
+type Scheduler uint8
+
+const (
+	// SchedulerWheel is the timing wheel with far-future overflow heap:
+	// O(1) schedule and pop for events inside the wheel horizon, which in
+	// the paper's unit-delay cost model is nearly every event.
+	SchedulerWheel Scheduler = iota
+	// SchedulerHeap is the flat 4-ary min-heap: O(log n) schedule and pop,
+	// kept as the reference scheduler for equivalence testing.
+	SchedulerHeap
+)
+
+// String names the scheduler as the CLI and BENCH records spell it.
+func (s Scheduler) String() string {
+	switch s {
+	case SchedulerWheel:
+		return "wheel"
+	case SchedulerHeap:
+		return "heap"
+	default:
+		return fmt.Sprintf("scheduler(%d)", uint8(s))
+	}
+}
+
+// ParseScheduler inverts Scheduler.String (the -scheduler CLI flag).
+func ParseScheduler(name string) (Scheduler, error) {
+	switch name {
+	case "wheel", "":
+		return SchedulerWheel, nil
+	case "heap":
+		return SchedulerHeap, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown scheduler %q (want wheel or heap)", name)
+	}
+}
+
 // eventOp discriminates the typed event records.
 type eventOp uint8
 
@@ -52,10 +104,13 @@ const (
 )
 
 // eventRec is one scheduled event's payload, stored by value in the slab.
-// Exactly one of the op-specific fields is meaningful.
+// Exactly one of the op-specific fields is meaningful. next chains records
+// into a timing-wheel bucket (stored as slab index + 1 so the zero value
+// means end-of-chain); the heap scheduler ignores it.
 type eventRec struct {
 	op   eventOp
 	node int32
+	next int32
 	fn   func()
 	msg  protocol.Message
 	tm   protocol.Timer
@@ -63,31 +118,64 @@ type eventRec struct {
 
 // heapEntry is the ordering key of one pending event: fire time, FIFO
 // tie-breaker, and the slab slot holding its payload. Keeping the key small
-// (24 bytes) makes heap sifts cheap; the fat payload never moves.
+// (24 bytes) makes heap sifts cheap; the fat payload never moves. The wheel
+// scheduler uses the same keys for its far-future overflow heap.
 type heapEntry struct {
 	at  Time
 	seq uint64
 	idx int32
 }
 
-// Engine is a discrete-event simulator: a priority queue of timestamped
-// typed events and a virtual clock.
+// Engine is a discrete-event simulator: a scheduler of timestamped typed
+// events and a virtual clock.
 type Engine struct {
-	now     Time
-	heap    []heapEntry // 4-ary min-heap on (at, seq)
-	recs    []eventRec  // payload slab, indexed by heapEntry.idx
-	free    []int32     // recycled slab slots
+	now   Time
+	sched Scheduler
+
+	// SchedulerHeap state: every pending event's key.
+	heap []heapEntry // 4-ary min-heap on (at, seq)
+
+	// SchedulerWheel state. Buckets are intrusive FIFO chains through the
+	// slab (eventRec.next), one per slot; slot s holds the unique time t in
+	// [now, now+wheelSize) with t&wheelMask == s. occ is the slot-occupancy
+	// bitmap the next-event scan runs over; overflow holds events at or
+	// beyond the horizon, cascaded in by advance. All indices in head/tail
+	// are slab index + 1 (0 = empty).
+	wheelHead []int32
+	wheelTail []int32
+	occ       []uint64
+	wheelLen  int         // pending events linked into buckets
+	overflow  []heapEntry // 4-ary min-heap of events at >= now+wheelSize
+
+	recs    []eventRec // payload slab, indexed by heapEntry.idx / chain links
+	free    []int32    // recycled slab slots
 	seq     uint64
 	rng     *RNG
 	events  int
 	handler Handler
 }
 
-// NewEngine returns an engine with its clock at zero and randomness seeded
-// by seed.
+// NewEngine returns an engine with its clock at zero, randomness seeded by
+// seed, and the default timing-wheel scheduler.
 func NewEngine(seed uint64) *Engine {
-	return &Engine{rng: NewRNG(seed)}
+	return NewEngineScheduler(seed, SchedulerWheel)
 }
+
+// NewEngineScheduler returns an engine using the given event scheduler.
+// SchedulerWheel is the production default; SchedulerHeap is the reference
+// the equivalence tests compare against.
+func NewEngineScheduler(seed uint64, sched Scheduler) *Engine {
+	e := &Engine{rng: NewRNG(seed), sched: sched}
+	if sched == SchedulerWheel {
+		e.wheelHead = make([]int32, wheelSize)
+		e.wheelTail = make([]int32, wheelSize)
+		e.occ = make([]uint64, wheelSize/64)
+	}
+	return e
+}
+
+// Scheduler reports which event scheduler the engine runs on.
+func (e *Engine) Scheduler() Scheduler { return e.sched }
 
 // SetHandler installs the consumer of typed message/timer events. It must
 // be set before the first AtMessage/AtTimer call.
@@ -103,14 +191,19 @@ func (e *Engine) RNG() *RNG { return e.rng }
 func (e *Engine) Events() int { return e.events }
 
 // Pending returns the number of scheduled, not yet executed events.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int {
+	if e.sched == SchedulerHeap {
+		return len(e.heap)
+	}
+	return e.wheelLen + len(e.overflow)
+}
 
 // ErrPastEvent is returned when scheduling strictly before the current time.
 var ErrPastEvent = errors.New("sim: event scheduled in the past")
 
-// alloc grabs a slab slot from the free-list (or grows the slab) and pushes
-// its heap key. The caller fills the returned record.
-func (e *Engine) alloc(t Time) *eventRec {
+// alloc grabs a slab slot from the free-list (or grows the slab). The
+// caller fills the returned record, then hands the slot to schedule.
+func (e *Engine) alloc() (int32, *eventRec) {
 	var idx int32
 	if n := len(e.free); n > 0 {
 		idx = e.free[n-1]
@@ -119,9 +212,25 @@ func (e *Engine) alloc(t Time) *eventRec {
 		e.recs = append(e.recs, eventRec{})
 		idx = int32(len(e.recs) - 1)
 	}
+	return idx, &e.recs[idx]
+}
+
+// schedule keys slab slot idx at time t in the active scheduler. Equal-time
+// events dispatch in schedule order: the heap breaks ties on seq, the wheel
+// appends to a FIFO bucket (and its overflow cascades in (at, seq) order
+// strictly before any same-time direct append can happen — see DESIGN.md
+// §10 for the ordering argument).
+func (e *Engine) schedule(t Time, idx int32) {
 	e.seq++
-	e.heapPush(heapEntry{at: t, seq: e.seq, idx: idx})
-	return &e.recs[idx]
+	if e.sched == SchedulerHeap {
+		heapPush(&e.heap, heapEntry{at: t, seq: e.seq, idx: idx})
+		return
+	}
+	if t < e.now+wheelSize {
+		e.wheelLink(int(t)&wheelMask, idx)
+	} else {
+		heapPush(&e.overflow, heapEntry{at: t, seq: e.seq, idx: idx})
+	}
 }
 
 // At schedules fn to run at absolute time t. Events at equal times run in
@@ -131,9 +240,10 @@ func (e *Engine) At(t Time, fn func()) error {
 	if t < e.now {
 		return ErrPastEvent
 	}
-	rec := e.alloc(t)
+	idx, rec := e.alloc()
 	rec.op = opFunc
 	rec.fn = fn
+	e.schedule(t, idx)
 	return nil
 }
 
@@ -155,9 +265,10 @@ func (e *Engine) AtMessage(t Time, m protocol.Message) error {
 	if e.handler == nil {
 		panic("sim: AtMessage without a Handler (call SetHandler first)")
 	}
-	rec := e.alloc(t)
+	idx, rec := e.alloc()
 	rec.op = opMessage
 	rec.msg = m
+	e.schedule(t, idx)
 	return nil
 }
 
@@ -179,10 +290,11 @@ func (e *Engine) AtTimer(t Time, node int, tm protocol.Timer) error {
 	if e.handler == nil {
 		panic("sim: AtTimer without a Handler (call SetHandler first)")
 	}
-	rec := e.alloc(t)
+	idx, rec := e.alloc()
 	rec.op = opTimer
 	rec.node = int32(node)
 	rec.tm = tm
+	e.schedule(t, idx)
 	return nil
 }
 
@@ -195,24 +307,19 @@ func (e *Engine) AfterTimer(d Time, node int, tm protocol.Timer) {
 	_ = e.AtTimer(e.now+d, node, tm)
 }
 
-// Step executes the earliest pending event, advancing the clock to its time.
-// It reports whether an event was executed.
-func (e *Engine) Step() bool {
-	if len(e.heap) == 0 {
-		return false
-	}
-	top := e.heapPop()
-	// Copy the payload out and recycle the slot before dispatch: the
-	// callback may schedule (growing the slab would invalidate a pointer),
-	// and clearing the reference-bearing fields keeps recycled slots from
-	// retaining messages or closures.
-	rec := e.recs[top.idx]
-	slot := &e.recs[top.idx]
+// dispatch copies the payload out of slab slot idx, recycles the slot, and
+// runs the event. The copy-then-recycle order matters: the callback may
+// schedule (growing the slab would invalidate a pointer), and clearing the
+// reference-bearing fields keeps recycled slots from retaining messages or
+// closures.
+func (e *Engine) dispatch(idx int32) {
+	rec := e.recs[idx]
+	slot := &e.recs[idx]
 	slot.fn = nil
 	slot.msg.Attach = ""
 	slot.msg.Served = nil
-	e.free = append(e.free, top.idx)
-	e.now = top.at
+	slot.next = 0
+	e.free = append(e.free, idx)
 	e.events++
 	switch rec.op {
 	case opFunc:
@@ -222,20 +329,72 @@ func (e *Engine) Step() bool {
 	case opTimer:
 		e.handler.FireTimer(int(rec.node), rec.tm)
 	}
+}
+
+// Step executes the earliest pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if e.sched == SchedulerHeap {
+		if len(e.heap) == 0 {
+			return false
+		}
+		top := heapPop(&e.heap)
+		e.now = top.at
+		e.dispatch(top.idx)
+		return true
+	}
+	s := int(e.now) & wheelMask
+	if e.wheelHead[s] == 0 {
+		t, ok := e.nextAt()
+		if !ok {
+			return false
+		}
+		e.advance(t)
+		s = int(e.now) & wheelMask
+	}
+	e.popBucket(s)
 	return true
 }
 
 // RunUntil executes events until the clock would pass limit or the queue
 // drains. Events scheduled exactly at limit still run. It returns the
 // number of events executed.
+//
+// Under the wheel scheduler this is the batch-dispatch hot path: each
+// same-timestamp bucket drains as one back-to-back sweep — no scheduler
+// consultation between events — and events a handler schedules at the
+// current time join the tail of the sweep, exactly where the (at, seq)
+// order puts them.
 func (e *Engine) RunUntil(limit Time) int {
 	n := 0
-	for len(e.heap) > 0 && e.heap[0].at <= limit {
-		e.Step()
-		n++
+	if e.sched == SchedulerHeap {
+		for len(e.heap) > 0 && e.heap[0].at <= limit {
+			top := heapPop(&e.heap)
+			e.now = top.at
+			e.dispatch(top.idx)
+			n++
+		}
+		if e.now < limit {
+			e.now = limit
+		}
+		return n
+	}
+	for {
+		t, ok := e.nextAt()
+		if !ok || t > limit {
+			break
+		}
+		if t > e.now {
+			e.advance(t)
+		}
+		s := int(e.now) & wheelMask
+		for e.wheelHead[s] != 0 {
+			e.popBucket(s)
+			n++
+		}
 	}
 	if e.now < limit {
-		e.now = limit
+		e.advance(limit)
 	}
 	return n
 }
@@ -250,8 +409,8 @@ func (e *Engine) Drain(maxEvents int) int {
 	return n
 }
 
-// entryLess is the heap order: fire time, then scheduling order (FIFO at
-// equal times).
+// entryLess is the scheduler order: fire time, then scheduling order (FIFO
+// at equal times).
 func entryLess(a, b heapEntry) bool {
 	if a.at != b.at {
 		return a.at < b.at
@@ -259,10 +418,11 @@ func entryLess(a, b heapEntry) bool {
 	return a.seq < b.seq
 }
 
-// heapPush appends entry and sifts it up the 4-ary heap.
-func (e *Engine) heapPush(entry heapEntry) {
-	e.heap = append(e.heap, entry)
-	h := e.heap
+// heapPush appends entry and sifts it up the 4-ary heap. Shared by the heap
+// scheduler (all events) and the wheel's far-future overflow.
+func heapPush(hp *[]heapEntry, entry heapEntry) {
+	*hp = append(*hp, entry)
+	h := *hp
 	i := len(h) - 1
 	for i > 0 {
 		p := (i - 1) / 4
@@ -275,21 +435,20 @@ func (e *Engine) heapPush(entry heapEntry) {
 }
 
 // heapPop removes and returns the minimum entry.
-func (e *Engine) heapPop() heapEntry {
-	h := e.heap
+func heapPop(hp *[]heapEntry) heapEntry {
+	h := *hp
 	top := h[0]
 	last := len(h) - 1
 	h[0] = h[last]
-	e.heap = h[:last]
-	e.siftDown(0)
+	*hp = h[:last]
+	siftDown(*hp, 0)
 	return top
 }
 
 // siftDown restores heap order below i. A 4-ary layout halves the tree
 // height of a binary heap; the extra sibling comparisons stay in one cache
 // line because the keys are 24 bytes.
-func (e *Engine) siftDown(i int) {
-	h := e.heap
+func siftDown(h []heapEntry, i int) {
 	n := len(h)
 	for {
 		c := 4*i + 1

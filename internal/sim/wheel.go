@@ -1,0 +1,104 @@
+// The timing-wheel scheduler: near-future events live in a power-of-two
+// array of FIFO buckets indexed by at&wheelMask, far-future events wait in a
+// min-heap and cascade into the wheel as the clock advances. The paper's
+// cost model (§4: unit message delay, zero-cost local rules) puts nearly
+// every scheduled event at now+1, which this structure serves with O(1)
+// schedule and pop where the 4-ary heap paid O(log n) sifts. See DESIGN.md
+// §10 ("Event scheduling") for the layout and the ordering proof sketch.
+package sim
+
+import "math/bits"
+
+const (
+	// wheelBits sizes the wheel: 8192 slots cover every delay the repo's
+	// workloads produce in one hop (unit delays, jitter, hold times up to
+	// MaxHold 256, research timeouts ~2000) without touching the overflow
+	// heap; only workload injection scheduled far ahead overflows.
+	wheelBits = 13
+	wheelSize = 1 << wheelBits
+	wheelMask = wheelSize - 1
+)
+
+// wheelLink appends slab slot idx to bucket slot's FIFO chain and marks the
+// slot occupied. Chains are intrusive (eventRec.next, index+1 encoded), so
+// steady-state scheduling writes two int32s and one bitmap word — no
+// allocation, no sift.
+func (e *Engine) wheelLink(slot int, idx int32) {
+	e.recs[idx].next = 0
+	if tail := e.wheelTail[slot]; tail != 0 {
+		e.recs[tail-1].next = idx + 1
+	} else {
+		e.wheelHead[slot] = idx + 1
+		e.occ[slot>>6] |= 1 << (uint(slot) & 63)
+	}
+	e.wheelTail[slot] = idx + 1
+	e.wheelLen++
+}
+
+// popBucket unlinks the head of bucket s — which holds events at exactly
+// e.now — and dispatches it. The chain stays intact across the dispatch, so
+// handlers scheduling at the current time append behind the in-flight sweep.
+func (e *Engine) popBucket(s int) {
+	idx := e.wheelHead[s] - 1
+	next := e.recs[idx].next
+	e.wheelHead[s] = next
+	if next == 0 {
+		e.wheelTail[s] = 0
+		e.occ[s>>6] &^= 1 << (uint(s) & 63)
+	}
+	e.wheelLen--
+	e.dispatch(idx)
+}
+
+// nextAt returns the earliest pending event time. Wheel entries always beat
+// the overflow heap: the cascade invariant keeps every overflow entry at or
+// beyond now+wheelSize, while every wheel entry is inside the horizon.
+func (e *Engine) nextAt() (Time, bool) {
+	if e.wheelLen > 0 {
+		s := int(e.now) & wheelMask
+		if e.wheelHead[s] != 0 {
+			return e.now, true
+		}
+		return e.now + Time(e.occNext(s)), true
+	}
+	if len(e.overflow) > 0 {
+		return e.overflow[0].at, true
+	}
+	return 0, false
+}
+
+// occNext scans the occupancy bitmap circularly from slot s (exclusive) and
+// returns the distance (1..wheelSize-1) to the first occupied slot. The
+// caller guarantees at least one bucket is occupied. Cost: at most
+// wheelSize/64 word probes, one TrailingZeros at the hit.
+func (e *Engine) occNext(s int) int {
+	// The word containing s, masked to bits strictly above s.
+	w := s >> 6
+	bit := uint(s) & 63
+	if rem := e.occ[w] >> bit >> 1; rem != 0 {
+		return bits.TrailingZeros64(rem) + 1
+	}
+	nw := len(e.occ)
+	for i := 1; i <= nw; i++ {
+		word := e.occ[(w+i)&(nw-1)]
+		if word != 0 {
+			return (i << 6) - int(bit) + bits.TrailingZeros64(word)
+		}
+	}
+	// Unreachable when wheelLen > 0.
+	return 0
+}
+
+// advance moves the clock to t and cascades every overflow event that the
+// new horizon [t, t+wheelSize) now covers into its bucket. Cascading pops
+// the overflow heap in (at, seq) order, and runs before any handler at time
+// >= t can schedule — so bucket chains stay globally FIFO per timestamp
+// (the DESIGN.md §10 ordering argument).
+func (e *Engine) advance(t Time) {
+	e.now = t
+	horizon := t + wheelSize
+	for len(e.overflow) > 0 && e.overflow[0].at < horizon {
+		ent := heapPop(&e.overflow)
+		e.wheelLink(int(ent.at)&wheelMask, ent.idx)
+	}
+}

@@ -9,8 +9,9 @@
 //	go run ./scripts/benchcmp -gate 10 old.json new.json
 //
 // With -gate P the command exits nonzero when bytes/event or mallocs/event
-// regresses by more than P percent — the allocation-regression check CI
-// runs against the checked-in baseline (see EXPERIMENTS.md).
+// regresses by more than P percent, or when events/sec drops by more than P
+// percent — the allocation- and throughput-regression checks CI runs against
+// the checked-in baselines (see EXPERIMENTS.md).
 package main
 
 import (
@@ -39,6 +40,7 @@ type phase struct {
 
 type record struct {
 	Experiment string `json:"experiment"`
+	Scheduler  string `json:"scheduler,omitempty"`
 	Seed       uint64 `json:"seed"`
 	Requests   int    `json:"requests"`
 	Sequential *phase `json:"sequential"`
@@ -82,7 +84,7 @@ type metric struct {
 
 var metrics = []metric{
 	{"wall_seconds", func(p *phase) float64 { return p.WallSeconds }, true, false},
-	{"events_per_sec", func(p *phase) float64 { return p.EventsPerSec }, false, false},
+	{"events_per_sec", func(p *phase) float64 { return p.EventsPerSec }, false, true},
 	{"alloc_bytes", func(p *phase) float64 { return p.AllocBytes }, true, false},
 	{"mallocs", func(p *phase) float64 { return p.Mallocs }, true, false},
 	{"bytes_per_event", func(p *phase) float64 { return p.BytesPerEvent }, true, true},
@@ -130,10 +132,15 @@ func main() {
 				delta = (vn - vo) / vo * 100
 			}
 			fmt.Fprintf(w, "%s\t%s\t%s\t%+.1f%%\t\n", m.name, human(vo), human(vn), delta)
-			if m.gated && *gate > 0 && m.lowerBetter && vo > 0 && delta > *gate {
-				failed = true
-				fmt.Fprintf(os.Stderr, "benchcmp: GATE: %s %s regressed %+.1f%% (> %.0f%%)\n",
-					label, m.name, delta, *gate)
+			// A regression is delta above the gate for lower-is-better
+			// metrics, or below its negation for higher-is-better ones
+			// (throughput).
+			if m.gated && *gate > 0 && vo > 0 {
+				if (m.lowerBetter && delta > *gate) || (!m.lowerBetter && delta < -*gate) {
+					failed = true
+					fmt.Fprintf(os.Stderr, "benchcmp: GATE: %s %s regressed %+.1f%% (gate %.0f%%)\n",
+						label, m.name, delta, *gate)
+				}
 			}
 		}
 		w.Flush()
