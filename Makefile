@@ -62,11 +62,16 @@ bench-wheel: build
 	$(GO) run ./scripts/benchcmp BENCH_baseline.json BENCH_wheel.json
 	$(GO) run ./scripts/benchcmp -gate 10 BENCH_opt.json BENCH_wheel.json
 
-# Randomized fault-injection torture sweep: 9 seeds × 4 fault mixes ×
-# 3 variants = 108 scenarios, each asserting single-token safety, liveness
-# and (for the modeled configs) spec-trace conformance. Failures are shrunk
-# to minimal counterexamples and written under artifacts/ for -replay.
-# See EXPERIMENTS.md ("Torture harness").
+# Randomized fault-injection torture sweep: 9 seeds × 9 fault mixes ×
+# 3 variants = 243 simulated scenarios (including the five churn families:
+# join-storm, leave-storm, crash-regen, churn-mix, churn-lossy) plus the
+# live sweep — 5 mixes × 1 variant × 9 seeds on real concurrent runtimes —
+# each asserting single-token safety, liveness and (for the modeled
+# configs) spec-trace conformance; churn scenarios machine-check per-epoch
+# safety on every step and conformance via stutter windows + stable-epoch
+# re-pins. Failures are shrunk to minimal counterexamples and written under
+# artifacts/ for -replay. See EXPERIMENTS.md ("Torture harness",
+# "Torturing churn").
 torture: build
 	$(GO) run ./cmd/tokensim -torture -artifact-dir artifacts
 
@@ -89,6 +94,7 @@ trace-demo: build
 fuzz:
 	$(GO) test -run XXX -fuzz FuzzDirectedSearch -fuzztime 10s ./internal/protocol/
 	$(GO) test -run XXX -fuzz FuzzPushProbe -fuzztime 10s ./internal/protocol/
+	$(GO) test -run XXX -fuzz FuzzChurnSchedule -fuzztime 10s ./internal/driver/
 	$(GO) test -run XXX -fuzz FuzzParseCSV -fuzztime 10s ./internal/bench/
 	$(GO) test -run XXX -fuzz FuzzEventHeap -fuzztime 10s ./internal/sim/
 	$(GO) test -run XXX -fuzz FuzzTimingWheel -fuzztime 10s ./internal/sim/

@@ -62,6 +62,14 @@ type Checker struct {
 	label string
 	state trs.Term
 
+	// Pinned-mode coordinate mapping (identity under New): ids[p] is the
+	// implementation id occupying spec ring position p, pos[id] is its
+	// inverse (-1 for ids outside the view), and base is the stamp offset
+	// subtracted from Round/OriginStamp to obtain spec circulation counts.
+	ids  []int
+	pos  []int
+	base uint64
+
 	// inflight tracks the implementation's in-flight messages as projected
 	// shapes (a multiset).
 	inflight map[spec.MsgShape]int
@@ -72,6 +80,24 @@ type Checker struct {
 	invs  []trs.Invariant
 	steps int
 	err   error
+}
+
+// posOf translates an implementation node id to its spec ring position,
+// or -1 when the id is not in the pinned view (filters then fail loudly).
+func (c *Checker) posOf(id int) int {
+	if id < 0 || id >= len(c.pos) {
+		return -1
+	}
+	return c.pos[id]
+}
+
+// circ translates an implementation stamp (Round/OriginStamp) to a spec
+// circulation count relative to the pinned base.
+func (c *Checker) circ(v uint64) int {
+	if v < c.base {
+		return -1
+	}
+	return int(v - c.base)
 }
 
 // New builds a checker for cfg, rejecting configurations that have no spec
@@ -107,17 +133,102 @@ func New(cfg protocol.Config) (*Checker, error) {
 		return nil, fmt.Errorf("conformance: malformed spec init state %v", sys.Init)
 	}
 	label := init.Label()
+	ids := make([]int, cfg.N)
+	pos := make([]int, cfg.N)
+	for i := range ids {
+		ids[i], pos[i] = i, i
+	}
 	return &Checker{
 		cfg:      cfg,
 		sys:      sys,
 		label:    label,
 		state:    sys.Init,
+		ids:      ids,
+		pos:      pos,
 		inflight: make(map[spec.MsgShape]int),
 		pinned:   make(map[int]spec.MsgShape),
 		invs: []trs.Invariant{
 			spec.ChainInvariant(label),
 			spec.TokenUniquenessInvariant(label),
 			spec.QCompleteInvariant(label, cfg.N),
+		},
+	}, nil
+}
+
+// NewPinned builds a checker whose ghost state starts mid-execution from a
+// stable-epoch pin over the current membership view rather than from the
+// spec's bootstrap state. members lists the live implementation ids in
+// ascending order (spec position p ↔ members[p]); base is the stamp offset
+// (the view's minimum LastSeen) subtracted from wire stamps to obtain spec
+// circulation counts; pin describes holder, per-position circulation
+// counts, pending data and trap tables in spec coordinates.
+//
+// Unlike New, a non-zero RecoveryTimeout is accepted: the churn wrapper
+// (ChurnChecker) stutters across every §5 recovery window and only
+// re-enters rule-by-rule checking through this constructor once the view
+// is stable again, so the inner checker never sees a recovery message.
+func NewPinned(cfg protocol.Config, members []int, base uint64, pin spec.Pin) (*Checker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(members) != pin.N {
+		return nil, fmt.Errorf("conformance: %d members for a pin of %d positions", len(members), pin.N)
+	}
+	if cfg.TrapGC != protocol.GCNone {
+		return nil, fmt.Errorf("conformance: trap GC %s is a refinement the spec systems do not model", cfg.TrapGC)
+	}
+	if cfg.MaxTraps != 0 {
+		return nil, fmt.Errorf("conformance: bounded trap tables are not modeled (MaxTraps=%d)", cfg.MaxTraps)
+	}
+	p := spec.Params{N: pin.N, MaxBroadcasts: unbounded, MaxPending: unbounded, MaxPasses: unbounded}
+	var sys trs.System
+	var init trs.Term
+	var err error
+	switch cfg.Variant {
+	case protocol.RingToken, protocol.LinearSearch:
+		sys = spec.NewSystemSearchLossy(p, spec.CheckerBounds())
+		init, err = spec.PinnedSearchInit(pin)
+	case protocol.BinarySearch:
+		sys = spec.NewSystemBinarySearchLossy(p, spec.CheckerBounds())
+		init, err = spec.PinnedBinarySearchInit(pin)
+	default:
+		return nil, fmt.Errorf("conformance: variant %s has no spec system", cfg.Variant)
+	}
+	if err != nil {
+		return nil, err
+	}
+	pos := make([]int, cfg.N)
+	for i := range pos {
+		pos[i] = -1
+	}
+	ids := make([]int, len(members))
+	prev := -1
+	for pp, id := range members {
+		if id < 0 || id >= cfg.N || id <= prev {
+			return nil, fmt.Errorf("conformance: member list %v not strictly ascending within [0,%d)", members, cfg.N)
+		}
+		prev = id
+		ids[pp], pos[id] = id, pp
+	}
+	tup, ok := init.(trs.Tuple)
+	if !ok {
+		return nil, fmt.Errorf("conformance: malformed pinned init state %v", init)
+	}
+	label := tup.Label()
+	return &Checker{
+		cfg:      cfg,
+		sys:      sys,
+		label:    label,
+		state:    init,
+		ids:      ids,
+		pos:      pos,
+		base:     base,
+		inflight: make(map[spec.MsgShape]int),
+		pinned:   make(map[int]spec.MsgShape),
+		invs: []trs.Invariant{
+			spec.ChainInvariant(label),
+			spec.TokenUniquenessInvariant(label),
+			spec.QCompleteInvariant(label, pin.N),
 		},
 	}, nil
 }
@@ -171,8 +282,8 @@ func (c *Checker) handleStep(s driver.Step) error {
 		}
 	case driver.StepRequest:
 		// Rule 1: new data at the requesting node.
-		node := s.Node
-		if err := c.apply("1", fmt.Sprintf("request at node %d", node), func(b trs.Binding) bool {
+		node := c.posOf(s.Node)
+		if err := c.apply("1", fmt.Sprintf("request at node %d", s.Node), func(b trs.Binding) bool {
 			return int(b.Int("x")) == node
 		}); err != nil {
 			return err
@@ -211,9 +322,9 @@ func (c *Checker) releasePinned(s driver.Step, sh spec.MsgShape) error {
 	if err := c.takeInflight(sh); err != nil {
 		return err
 	}
-	node := s.Node
-	if err := c.apply("8", fmt.Sprintf("decorated return %d→%d", node, m.To), func(b trs.Binding) bool {
-		return int(b.Int("x")) == node && int(b.Int("y")) == m.To &&
+	node, dest := c.posOf(s.Node), c.posOf(m.To)
+	if err := c.apply("8", fmt.Sprintf("decorated return %d→%d", s.Node, m.To), func(b trs.Binding) bool {
+		return int(b.Int("x")) == node && int(b.Int("y")) == dest &&
 			spec.CircCount(b.Seq("H")) == sh.Circ
 	}); err != nil {
 		return err
@@ -238,8 +349,9 @@ func (c *Checker) handleDeliver(s driver.Step, m protocol.Message) error {
 			return err
 		}
 		// Rule 3: receive the (regular or returned) token.
+		dest, circ := c.posOf(m.To), c.circ(m.Round)
 		if err := c.apply("3", fmt.Sprintf("token receipt at %d (round %d)", m.To, m.Round), func(b trs.Binding) bool {
-			return int(b.Int("x")) == m.To && spec.CircCount(b.Seq("H")) == int(m.Round)
+			return int(b.Int("x")) == dest && spec.CircCount(b.Seq("H")) == circ
 		}); err != nil {
 			return err
 		}
@@ -267,9 +379,9 @@ func (c *Checker) handleDeliver(s driver.Step, m protocol.Message) error {
 			return fmt.Errorf("vacuous decorated return must re-send exactly one token, got %v", s.Effects.Msgs)
 		}
 		out := s.Effects.Msgs[0]
-		node := s.Node
-		if err := c.apply("8", fmt.Sprintf("vacuous return %d→%d", node, out.To), func(b trs.Binding) bool {
-			return int(b.Int("x")) == node && int(b.Int("y")) == out.To &&
+		node, dest := c.posOf(s.Node), c.posOf(out.To)
+		if err := c.apply("8", fmt.Sprintf("vacuous return %d→%d", s.Node, out.To), func(b trs.Binding) bool {
+			return int(b.Int("x")) == node && int(b.Int("y")) == dest &&
 				spec.CircCount(b.Seq("H")) == sh.Circ
 		}); err != nil {
 			return err
@@ -302,17 +414,19 @@ func (c *Checker) handleDeliver(s driver.Step, m protocol.Message) error {
 // forwardFilter picks the rule 6 application whose consumed gimme matches
 // the delivered message. The two systems bind the destination differently.
 func (c *Checker) forwardFilter(m protocol.Message) func(trs.Binding) bool {
+	to, from, req := c.posOf(m.To), c.posOf(m.From), c.posOf(m.Requester)
+	circ := c.circ(m.OriginStamp)
 	if c.cfg.Variant == protocol.BinarySearch {
 		return func(b trs.Binding) bool {
-			return int(b.Int("rx")) == m.To && int(b.Int("y")) == m.From &&
-				int(b.Int("z")) == m.Requester && int(b.Int("n")) == m.Window &&
-				spec.CircCount(b.Seq("Hz")) == int(m.OriginStamp)
+			return int(b.Int("rx")) == to && int(b.Int("y")) == from &&
+				int(b.Int("z")) == req && int(b.Int("n")) == m.Window &&
+				spec.CircCount(b.Seq("Hz")) == circ
 		}
 	}
 	return func(b trs.Binding) bool {
-		return int(b.Int("x")) == m.To && int(b.Int("y")) == m.From &&
-			int(b.Int("z")) == m.Requester &&
-			spec.CircCount(b.Seq("Hz")) == int(m.OriginStamp)
+		return int(b.Int("x")) == to && int(b.Int("y")) == from &&
+			int(b.Int("z")) == req &&
+			spec.CircCount(b.Seq("Hz")) == circ
 	}
 }
 
@@ -383,24 +497,28 @@ func (c *Checker) absorbEffects(node int, msgs []protocol.Message, ghostEmitted 
 }
 
 // applySend maps one implementation send to its spec rule.
-func (c *Checker) applySend(node int, m protocol.Message) error {
+func (c *Checker) applySend(implNode int, m protocol.Message) error {
+	node := c.posOf(implNode)
 	switch m.Kind {
 	case protocol.MsgToken:
 		// Rule 4: pass to the successor, recording a circulation event.
-		return c.apply("4", fmt.Sprintf("pass %d→%d (round %d)", node, m.To, m.Round), func(b trs.Binding) bool {
-			return int(b.Int("x")) == node && spec.CircCount(b.Seq("H"))+1 == int(m.Round)
+		circ := c.circ(m.Round)
+		return c.apply("4", fmt.Sprintf("pass %d→%d (round %d)", implNode, m.To, m.Round), func(b trs.Binding) bool {
+			return int(b.Int("x")) == node && spec.CircCount(b.Seq("H"))+1 == circ
 		})
 	case protocol.MsgTokenReturn:
 		// Rule 7: the holder serves a trap with the decorated token.
-		return c.apply("7", fmt.Sprintf("trap delivery %d→%d", node, m.To), func(b trs.Binding) bool {
-			return int(b.Int("x")) == node && int(b.Int("y")) == m.To &&
-				spec.CircCount(b.Seq("H")) == int(m.Round)
+		dest, circ := c.posOf(m.To), c.circ(m.Round)
+		return c.apply("7", fmt.Sprintf("trap delivery %d→%d", implNode, m.To), func(b trs.Binding) bool {
+			return int(b.Int("x")) == node && int(b.Int("y")) == dest &&
+				spec.CircCount(b.Seq("H")) == circ
 		})
 	case protocol.MsgSearch:
 		// Rule 5r: a pending node (re-)issues its gimme.
-		return c.apply("5r", fmt.Sprintf("gimme issue %d→%d", node, m.To), func(b trs.Binding) bool {
+		circ := c.circ(m.OriginStamp)
+		return c.apply("5r", fmt.Sprintf("gimme issue %d→%d", implNode, m.To), func(b trs.Binding) bool {
 			return int(b.Int("x")) == node &&
-				spec.CircCount(b.Seq("H")) == int(m.OriginStamp)
+				spec.CircCount(b.Seq("H")) == circ
 		})
 	default:
 		return fmt.Errorf("sent message kind %s has no spec counterpart", m.Kind)
@@ -411,18 +529,18 @@ func (c *Checker) applySend(node int, m protocol.Message) error {
 // LinearSearch windows are a hop countdown the spec does not carry (its
 // gimmes expire only on ring completion), so they project to 0.
 func (c *Checker) implShape(m protocol.Message) (spec.MsgShape, error) {
-	sh := spec.MsgShape{To: m.To, From: m.From, Requester: -1}
+	sh := spec.MsgShape{To: c.posOf(m.To), From: c.posOf(m.From), Requester: -1}
 	switch m.Kind {
 	case protocol.MsgToken:
 		sh.Kind = spec.ShapeToken
-		sh.Circ = int(m.Round)
+		sh.Circ = c.circ(m.Round)
 	case protocol.MsgTokenReturn:
 		sh.Kind = spec.ShapeReturn
-		sh.Circ = int(m.Round)
+		sh.Circ = c.circ(m.Round)
 	case protocol.MsgSearch:
 		sh.Kind = spec.ShapeSearch
-		sh.Circ = int(m.OriginStamp)
-		sh.Requester = m.Requester
+		sh.Circ = c.circ(m.OriginStamp)
+		sh.Requester = c.posOf(m.Requester)
 		if c.cfg.Variant == protocol.BinarySearch {
 			sh.Window = m.Window
 		}

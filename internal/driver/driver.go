@@ -67,6 +67,11 @@ type Options struct {
 	Observer Observer
 	// TrackFairness enables the Theorem 3 possession accounting.
 	TrackFairness bool
+	// InitialMembers, when non-nil, starts the run with a partial view:
+	// only the listed ring positions participate (node 0, the bootstrap
+	// holder, must be among them). The remaining positions sit outside the
+	// cluster until a Join admits them. Setting this enables churn mode.
+	InitialMembers []int
 }
 
 // Runner hosts one simulated cluster.
@@ -99,6 +104,7 @@ type Runner struct {
 	paused        []bool
 	held          [][]heldItem // per-node work queued while paused
 	faults        *faults.Injector
+	churn         *churnState // nil until a run uses membership churn
 }
 
 // heldItem is one unit of work parked at a paused node: a typed record
@@ -177,7 +183,7 @@ func New(cfg protocol.Config, opts Options) (*Runner, error) {
 			TimerGate:   r.timerGate,
 			DeliverGate: r.deliverGate,
 			Applied:     r.onApplied,
-			Condemned:   func() bool { return r.invariantErr != nil },
+			Condemned:   func() bool { return r.safetyErr() != nil },
 		},
 	})
 	if err != nil {
@@ -199,6 +205,18 @@ func New(cfg protocol.Config, opts Options) (*Runner, error) {
 			return nil, err
 		}
 	}
+	// Membership churn: a partial initial view or injector churn events
+	// switch the runner into churn mode up front, so the in-flight epoch
+	// accounting starts exact.
+	churnEvents := r.faults.Churn()
+	if opts.InitialMembers != nil || len(churnEvents) > 0 {
+		if err := r.enableChurn(opts.InitialMembers); err != nil {
+			return nil, err
+		}
+		if err := r.scheduleChurn(churnEvents); err != nil {
+			return nil, err
+		}
+	}
 	return r, nil
 }
 
@@ -215,6 +233,13 @@ func (n simNetwork) Deliver(m protocol.Message, extra sim.Time) {
 	r := n.r
 	if m.Kind.Expensive() {
 		r.inFlightToken++
+	}
+	if ch := r.churn; ch != nil {
+		ch.inflight++
+		if m.Kind.Expensive() {
+			ch.epochInFlight[m.Epoch]++
+			ch.tokenTo[m.To]++
+		}
 	}
 	delay := r.opts.Delay.Delay(r.eng.RNG(), m.From, m.To) + extra
 	if delay < 1 {
@@ -234,6 +259,18 @@ func (r *Runner) deliverGate(m protocol.Message) bool {
 	if m.Kind.Expensive() {
 		r.inFlightToken--
 	}
+	if ch := r.churn; ch != nil {
+		ch.inflight--
+		if m.Kind.Expensive() {
+			ch.epochInFlight[m.Epoch]--
+			ch.tokenTo[m.To]--
+		}
+		// A departed destination swallows traffic; the sender side stays
+		// open so a token passed by a node mid-leave is not lost.
+		if !ch.member[m.To] {
+			return false
+		}
+	}
 	if r.dead[m.To] || r.dead[m.From] {
 		return false
 	}
@@ -246,6 +283,9 @@ func (r *Runner) deliverGate(m protocol.Message) bool {
 // timerGate drops timers at dead nodes and queues them at paused ones.
 func (r *Runner) timerGate(id int, tm protocol.Timer) bool {
 	if r.dead[id] {
+		return false
+	}
+	if r.churn != nil && !r.churn.member[id] {
 		return false
 	}
 	if r.paused[id] {
@@ -274,6 +314,15 @@ func (r *Runner) Coalesced() int { return r.coalesced }
 
 // InvariantErr returns the first single-token invariant violation, if any.
 func (r *Runner) InvariantErr() error { return r.invariantErr }
+
+// safetyErr folds the global single-token invariant and the per-epoch churn
+// invariant into one verdict.
+func (r *Runner) safetyErr() error {
+	if r.invariantErr != nil {
+		return r.invariantErr
+	}
+	return r.ChurnErr()
+}
 
 // FaultSchedule returns the replayable record of every fault decision the
 // run's injector has taken so far.
@@ -305,12 +354,11 @@ func (r *Runner) TokenCount() int {
 // Kill schedules a crash of node id at time at: the node stops processing
 // messages and timers, and anything addressed to it vanishes. Killing the
 // token holder loses the token; only the §5 recovery extension
-// (Config.RecoveryTimeout) can regenerate it, so Kill disables the
-// single-token invariant check.
+// (Config.RecoveryTimeout) can regenerate it. Kill is Crash: the corpse
+// also leaves the membership view, so the survivors route around it
+// instead of forwarding the (regenerated) token into a black hole forever.
 func (r *Runner) Kill(at sim.Time, id int) error {
-	return r.eng.At(at, func() {
-		r.dead[id] = true
-	})
+	return r.Crash(at, id)
 }
 
 // Pause freezes node for [at, at+dur): deliveries, timers, requests and
@@ -392,6 +440,12 @@ func (r *Runner) onApplied(id int) {
 		}
 	}
 	r.checkInvariant()
+	if ch := r.churn; ch != nil && !ch.committing {
+		if ch.pendingLeaves > 0 {
+			r.tryLeaves()
+		}
+		r.checkChurnInvariant()
+	}
 }
 
 // anyDead reports whether any node has been killed (crashes may legitimately
@@ -462,6 +516,9 @@ func (r *Runner) doRequest(node int) {
 	if r.dead[node] {
 		return
 	}
+	if r.churn != nil && !r.churn.member[node] {
+		return // outside the cluster: requests are no-ops until it joins
+	}
 	if r.paused[node] {
 		r.held[node] = append(r.held[node], heldItem{kind: heldRequest, node: node})
 		return
@@ -502,8 +559,8 @@ func (r *Runner) RunWorkload(gen workload.Generator, count int, maxTime sim.Time
 			next = maxTime
 		}
 		r.eng.RunUntil(next)
-		if r.invariantErr != nil {
-			return r.eng.Now(), r.invariantErr
+		if err := r.safetyErr(); err != nil {
+			return r.eng.Now(), err
 		}
 		if r.Waits.Outstanding() == 0 && r.eng.Now() >= reqs[len(reqs)-1].At && !r.heldWork() {
 			break
@@ -513,7 +570,7 @@ func (r *Runner) RunWorkload(gen workload.Generator, count int, maxTime sim.Time
 		return r.eng.Now(), fmt.Errorf("driver: %d requests unserved at t=%d (variant %s)",
 			r.Waits.Outstanding(), r.eng.Now(), r.cfg.Variant)
 	}
-	return r.eng.Now(), r.invariantErr
+	return r.eng.Now(), r.safetyErr()
 }
 
 // Result summarizes a run for the experiment harness.

@@ -16,6 +16,7 @@ const (
 	StepDeliver   = host.StepDeliver
 	StepTimer     = host.StepTimer
 	StepRelease   = host.StepRelease
+	StepView      = host.StepView
 )
 
 // Step is one state-machine step as seen by the driver: which node did what
@@ -32,6 +33,9 @@ const (
 	FaultDelay  = host.FaultDelay
 	FaultPause  = host.FaultPause
 	FaultResume = host.FaultResume
+	FaultJoin   = host.FaultJoin
+	FaultLeave  = host.FaultLeave
+	FaultCrash  = host.FaultCrash
 )
 
 // FaultEvent is one injected fault, reported after the OnStep whose effects

@@ -158,9 +158,12 @@ func TestPauseMidSearch(t *testing.T) {
 }
 
 // Crash (not pause) while a gimme is in flight toward the dying node: the
-// search dies with it, and — because ring rotation eventually hands the
-// token to the dead node too — the §5 recovery path regenerates it and the
-// live request is still served.
+// search dies with it, but — because Kill routes through membership — the
+// survivors' view heals immediately, rotation skips the corpse, and the
+// token is never lost. The re-search timer covers the dead gimme; no §5
+// recovery is ever needed. (Before the churn engine, the corpse stayed in
+// everyone's ring view forever and the token black-holed there — the
+// latent Kill gap this pins shut.)
 func TestCrashWithGimmeInFlight(t *testing.T) {
 	cfg := protocol.Config{
 		Variant:         protocol.BinarySearch,
@@ -186,11 +189,21 @@ func TestCrashWithGimmeInFlight(t *testing.T) {
 	if r.Waits.Outstanding() != 0 {
 		t.Fatalf("%d unserved after crash with gimme in flight", r.Waits.Outstanding())
 	}
-	if got := r.Msgs.Get("recovery-probe"); got == 0 {
-		t.Fatal("no recovery probes after the token rotated into the dead node")
+	// The view healed before the token could rotate into the corpse, so
+	// the original token survived: no probes, no regeneration, epoch 0.
+	if got := r.Msgs.Get("recovery-probe"); got != 0 {
+		t.Fatalf("%d recovery probes sent; the healed view should have kept the token alive", got)
 	}
-	if c := r.TokenCount(); c > 1 {
-		t.Fatalf("token count = %d, want at most 1", c)
+	if c := r.TokenCount(); c != 1 {
+		t.Fatalf("token count = %d, want 1", c)
+	}
+	if err := r.ChurnErr(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.N; i++ {
+		if i != 5 && r.Node(i).Epoch() != 0 {
+			t.Fatalf("node %d at epoch %d; no regeneration should have happened", i, r.Node(i).Epoch())
+		}
 	}
 }
 

@@ -47,6 +47,25 @@ type Pause struct {
 	Dur  int64 `json:"dur"`
 }
 
+// ChurnOp is one membership event kind.
+type ChurnOp string
+
+const (
+	ChurnJoin  ChurnOp = "join"  // node enters the view (epoch bump, state sync)
+	ChurnLeave ChurnOp = "leave" // graceful departure, deferred until token-safe
+	ChurnCrash ChurnOp = "crash" // fail-stop: node dies and leaves the view at once
+)
+
+// ChurnEvent is one deterministic membership event: at simulation time At,
+// apply Op to Node. Like Pauses, churn events are time-keyed (not
+// sequence-keyed) so they replay verbatim and shrink independently of the
+// message stream.
+type ChurnEvent struct {
+	Op   ChurnOp `json:"op"`
+	Node int     `json:"node"`
+	At   int64   `json:"at"`
+}
+
 // Plan is a fault policy: probabilities and bounds from which the injector
 // draws deterministic decisions. The zero Plan injects nothing.
 type Plan struct {
@@ -73,6 +92,9 @@ type Plan struct {
 
 	// Pauses are deterministic node freeze windows.
 	Pauses []Pause `json:"pauses,omitempty"`
+
+	// Churn are deterministic membership events (join/leave/crash).
+	Churn []ChurnEvent `json:"churn,omitempty"`
 }
 
 // Validate enforces the safe-subset rule and probability ranges.
@@ -103,14 +125,25 @@ func (p Plan) Validate() error {
 			return fmt.Errorf("faults: malformed pause %+v", pa)
 		}
 	}
+	for _, ce := range p.Churn {
+		if ce.At < 0 || ce.Node < 0 {
+			return fmt.Errorf("faults: malformed churn event %+v", ce)
+		}
+		switch ce.Op {
+		case ChurnJoin, ChurnLeave, ChurnCrash:
+		default:
+			return fmt.Errorf("faults: unknown churn op %q", ce.Op)
+		}
+	}
 	return nil
 }
 
 // Schedule is the replayable record of a faulty run: the concrete actions
 // taken, keyed by dispatch sequence, plus the pause windows.
 type Schedule struct {
-	Actions []Action `json:"actions,omitempty"`
-	Pauses  []Pause  `json:"pauses,omitempty"`
+	Actions []Action     `json:"actions,omitempty"`
+	Pauses  []Pause      `json:"pauses,omitempty"`
+	Churn   []ChurnEvent `json:"churn,omitempty"`
 }
 
 // Verdict is the injector's decision for one dispatched message.
@@ -131,6 +164,7 @@ type Injector struct {
 	actions []Action
 	replay  map[uint64][]Action
 	pauses  []Pause
+	churn   []ChurnEvent
 	stats   *metrics.Messages
 }
 
@@ -143,6 +177,7 @@ func NewInjector(plan Plan) (*Injector, error) {
 		plan:   plan,
 		rng:    sim.NewRNG(plan.Seed),
 		pauses: append([]Pause(nil), plan.Pauses...),
+		churn:  append([]ChurnEvent(nil), plan.Churn...),
 		stats:  metrics.NewMessages(),
 	}, nil
 }
@@ -156,6 +191,7 @@ func Replay(sched Schedule) *Injector {
 	return &Injector{
 		replay: byseq,
 		pauses: append([]Pause(nil), sched.Pauses...),
+		churn:  append([]ChurnEvent(nil), sched.Churn...),
 		stats:  metrics.NewMessages(),
 	}
 }
@@ -226,11 +262,17 @@ func (in *Injector) Pauses() []Pause {
 	return append([]Pause(nil), in.pauses...)
 }
 
+// Churn returns the membership events the driver must schedule.
+func (in *Injector) Churn() []ChurnEvent {
+	return append([]ChurnEvent(nil), in.churn...)
+}
+
 // Schedule returns the replayable record of every decision taken so far.
 func (in *Injector) Schedule() Schedule {
 	return Schedule{
 		Actions: append([]Action(nil), in.actions...),
 		Pauses:  append([]Pause(nil), in.pauses...),
+		Churn:   append([]ChurnEvent(nil), in.churn...),
 	}
 }
 

@@ -21,6 +21,9 @@ const (
 	StepTimer
 	// StepRelease is a critical-section exit.
 	StepRelease
+	// StepView is a membership view change applied to one node
+	// (protocol.Node.ApplyView under churn).
+	StepView
 )
 
 func (k StepKind) String() string {
@@ -35,6 +38,8 @@ func (k StepKind) String() string {
 		return "timer"
 	case StepRelease:
 		return "release"
+	case StepView:
+		return "view"
 	}
 	return "unknown"
 }
@@ -65,6 +70,9 @@ const (
 	FaultDelay
 	FaultPause
 	FaultResume
+	FaultJoin
+	FaultLeave
+	FaultCrash
 )
 
 func (k FaultKind) String() string {
@@ -79,6 +87,12 @@ func (k FaultKind) String() string {
 		return "pause"
 	case FaultResume:
 		return "resume"
+	case FaultJoin:
+		return "join"
+	case FaultLeave:
+		return "leave"
+	case FaultCrash:
+		return "crash"
 	}
 	return "unknown"
 }

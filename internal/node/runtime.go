@@ -264,6 +264,29 @@ func (r *Runtime) SetAttachment(s string) error {
 	return r.proto.SetAttachment(s)
 }
 
+// ApplyView installs a membership view on the live node, reported to the
+// observer as a StepView step — the control plane of the live churn
+// scenarios, mirroring the simulation driver's view propagation.
+func (r *Runtime) ApplyView(u protocol.ViewUpdate) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped {
+		return
+	}
+	now := r.clock.Now()
+	r.host.Step(host.Step{At: now, Kind: host.StepView, Node: r.ID()},
+		r.proto.ApplyView(protocol.Time(now), u))
+}
+
+// Inspect runs fn on the protocol node under the runtime lock. The live
+// churn harness reads settle-point state (holder, stamps, traps) through
+// this; fn must not call back into the runtime.
+func (r *Runtime) Inspect(fn func(*protocol.Node)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn(r.proto)
+}
+
 // OnApp registers the handler for application data envelopes. Must be set
 // before Start.
 func (r *Runtime) OnApp(fn func(transport.AppData)) {

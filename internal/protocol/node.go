@@ -49,6 +49,13 @@ type Node struct {
 	epoch    uint64
 	recovery recoveryState
 
+	// Membership view (§5 churn): nil live means the full ring (the
+	// churn-free fast path); otherwise live[i] marks position i as a
+	// member of the view stamped viewEpoch.
+	live      []bool
+	liveN     int
+	viewEpoch uint64
+
 	// attach is the application payload riding on the token; valid while
 	// holding.
 	attach string
@@ -112,6 +119,24 @@ func (n *Node) LastSeen() uint64 { return n.lastSeen }
 
 // TrapCount returns the number of stored traps.
 func (n *Node) TrapCount() int { return len(n.traps) }
+
+// Epoch returns the token epoch as known to this node.
+func (n *Node) Epoch() uint64 { return n.epoch }
+
+// DecoratedHold reports whether the node holds a decorated token it must
+// return to an interceptor after use (rule 8 pending).
+func (n *Node) DecoratedHold() bool { return n.returnTo != None }
+
+// RecoveryActive reports whether a token-loss probe round is in flight.
+func (n *Node) RecoveryActive() bool { return n.recovery.active }
+
+// TrapRequesters appends the requester ids of the stored traps, FIFO.
+func (n *Node) TrapRequesters(dst []int) []int {
+	for _, tr := range n.traps {
+		dst = append(dst, tr.requester)
+	}
+	return dst
+}
 
 // Config returns the node's configuration.
 func (n *Node) Config() Config { return n.cfg }
@@ -268,6 +293,8 @@ func (n *Node) HandleMessageInto(now Time, m Message, e *Effects) {
 		n.handleRecoveryProbe(now, m, e)
 	case MsgRecoveryReply:
 		n.handleRecoveryReply(now, m, e)
+	case MsgElect:
+		n.handleElect(now, m, e)
 	}
 }
 
@@ -283,7 +310,7 @@ func (n *Node) validMessage(m Message) bool {
 		// A decorated token always names its requester and the
 		// interceptor it must come back to.
 		return onRing(m.Requester) && onRing(m.ReturnTo)
-	case MsgSearch, MsgProbe, MsgProbeReply, MsgWantReply:
+	case MsgSearch, MsgProbe, MsgProbeReply, MsgWantReply, MsgElect:
 		return onRing(m.Requester)
 	default:
 		return true
@@ -412,7 +439,7 @@ func (n *Node) passToken(_ Time, e *Effects) {
 	n.hasToken = false
 	n.holdGen++
 	n.pushGen++
-	e.send(Message{Kind: MsgToken, From: n.id, To: n.rg.Next(n.id), Round: n.round, Epoch: n.epoch, Attach: n.attach, Served: n.servedSnapshot()})
+	e.send(Message{Kind: MsgToken, From: n.id, To: n.nextLive(n.id), Round: n.round, Epoch: n.epoch, Attach: n.attach, Served: n.servedSnapshot()})
 }
 
 // deliverNext pops the oldest live trap and sends the decorated token to
@@ -426,9 +453,9 @@ func (n *Node) deliverNext(_ Time, e *Effects) bool {
 	n.holdGen++
 	n.pushGen++
 	to := tr.requester
-	if n.cfg.TrapGC == GCInverse && tr.from != tr.requester && tr.from != n.id && tr.from != None {
+	if n.cfg.TrapGC == GCInverse && tr.from != tr.requester && tr.from != n.id && tr.from != None && n.member(tr.from) {
 		// Inverse clean-up: trace the search trail backwards,
-		// removing traps en route.
+		// removing traps en route (skipped if the trail hop departed).
 		to = tr.from
 	}
 	e.send(Message{
@@ -464,6 +491,19 @@ func (n *Node) handleTokenReturn(now Time, m Message, e *Effects) {
 				next = tr.from
 			}
 		}
+		if !n.member(next) {
+			next = m.Requester // the trail hop departed: skip straight ahead
+		}
+		if !n.member(next) {
+			// The requester itself departed: the grant is moot. Send the
+			// token home, or adopt it if the interceptor is gone too.
+			if n.member(m.ReturnTo) {
+				e.send(Message{Kind: MsgToken, From: n.id, To: m.ReturnTo, Round: m.Round, Epoch: m.Epoch, Attach: m.Attach, Served: m.Served})
+			} else {
+				n.adoptOrphanToken(now, m, e)
+			}
+			return
+		}
 		fwd := m
 		fwd.From = n.id
 		fwd.To = next
@@ -481,12 +521,34 @@ func (n *Node) handleTokenReturn(now Time, m Message, e *Effects) {
 		n.attach = m.Attach
 		n.adoptServed(m.Served)
 		n.returnTo = m.ReturnTo
+		if !n.member(m.ReturnTo) {
+			// The interceptor left while its grant was in flight: nobody
+			// is owed the return, so keep the token after use.
+			n.returnTo = None
+		}
 		e.Granted = true
 		return
 	}
 	// Stale trap: use the token vacuously and return it (rule 8 with
 	// φ data).
+	if !n.member(m.ReturnTo) {
+		n.adoptOrphanToken(now, m, e)
+		return
+	}
 	e.send(Message{Kind: MsgToken, From: n.id, To: m.ReturnTo, Round: m.Round, Epoch: m.Epoch, Attach: m.Attach, Served: m.Served})
+}
+
+// adoptOrphanToken takes custody of a decorated token whose onward
+// addressee departed the view while the message was in flight: a departed
+// member can neither use a grant nor accept a return, so the token rejoins
+// the rotation here instead of being posted into a black hole and lost.
+func (n *Node) adoptOrphanToken(now Time, m Message, e *Effects) {
+	n.hasToken = true
+	n.returnTo = None
+	n.round = m.Round
+	n.attach = m.Attach
+	n.adoptServed(m.Served)
+	n.afterTokenIdle(now, e)
 }
 
 // addTrap stores τ_requester, deduplicating by requester and respecting the

@@ -158,6 +158,8 @@ func (k MsgKind) String() string {
 		return "recovery-probe"
 	case MsgRecoveryReply:
 		return "recovery-reply"
+	case MsgElect:
+		return "elect"
 	default:
 		return fmt.Sprintf("msg(%d)", int(k))
 	}
@@ -331,6 +333,12 @@ type Config struct {
 	// waited this long, triggering the probe-and-regenerate recovery of
 	// §5. Zero disables.
 	RecoveryTimeout Time
+	// BuggyElection reverts regeneration to the pre-election behavior:
+	// every requester that decides the token is lost mints a replacement
+	// locally, so two concurrent deciders mint two same-epoch tokens.
+	// Exists only so the torture harness can plant the bug and prove the
+	// per-epoch safety check catches it.
+	BuggyElection bool
 
 	// PushWait is how long a PushProbe holder waits for want replies
 	// before passing the token on. Zero defaults to 2.

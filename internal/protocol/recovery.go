@@ -21,6 +21,10 @@ const (
 	MsgRecoveryProbe MsgKind = iota + 100
 	// MsgRecoveryReply answers a recovery probe.
 	MsgRecoveryReply
+	// MsgElect asks the view's coordinator (lowest live member) to mint
+	// the replacement token, carrying the requester's evidence (max
+	// stamp in Round, max epoch in Epoch).
+	MsgElect
 )
 
 // Recovery timers.
@@ -60,7 +64,7 @@ func (n *Node) handleRecoveryTimer(now Time, gen uint64, e *Effects) {
 	}
 	n.recovery = recoveryState{active: true, gen: gen, maxStamp: n.lastSeen, maxEpoch: n.epoch}
 	for i := 0; i < n.cfg.N; i++ {
-		if i == n.id {
+		if i == n.id || !n.member(i) {
 			continue
 		}
 		e.send(Message{Kind: MsgRecoveryProbe, From: n.id, To: i, Round: n.lastSeen, Epoch: n.epoch})
@@ -121,11 +125,45 @@ func (n *Node) handleRecoveryDecide(now Time, gen uint64, e *Effects) {
 		n.armRecovery(e)
 		return
 	}
-	// Regenerate: a fresh token under a higher epoch, with a round
-	// beyond anything any reachable node has seen, so stamp comparisons
-	// stay monotone.
-	n.epoch = st.maxEpoch + 1
-	n.round = st.maxStamp + 1
+	coord := n.liveMin()
+	if n.cfg.BuggyElection || coord == n.id {
+		// BuggyElection is the planted pre-election race: every decider
+		// mints locally, so two concurrent deciders mint two same-epoch
+		// tokens. The fixed protocol funnels every mint through the
+		// view's single deterministic coordinator.
+		n.regenerate(now, st.maxEpoch, st.maxStamp, e)
+		return
+	}
+	// Epoch-scoped election: hand the evidence to the coordinator, which
+	// mints exactly once per failure (handleElect discards duplicates by
+	// epoch). Re-arm suspicion in case the coordinator itself is gone —
+	// the next probe round runs over the repaired view.
+	e.send(Message{Kind: MsgElect, From: n.id, To: coord, Requester: n.id, Round: st.maxStamp, Epoch: st.maxEpoch})
+	n.armRecovery(e)
+}
+
+// handleElect mints the replacement token at the view coordinator. A mint
+// bumps the epoch past the election's evidence, so every duplicate elect
+// from the same failure (or from a decider that raced a live token) is
+// discarded as stale.
+func (n *Node) handleElect(now Time, m Message, e *Effects) {
+	if n.hasToken || m.Epoch < n.epoch {
+		return
+	}
+	n.regenerate(now, m.Epoch, m.Round, e)
+}
+
+// regenerate mints a fresh token under a higher epoch, with a round beyond
+// anything any reachable node has seen, so stamp comparisons stay monotone.
+func (n *Node) regenerate(now Time, maxEpoch, maxStamp uint64, e *Effects) {
+	if maxEpoch < n.epoch {
+		maxEpoch = n.epoch
+	}
+	if maxStamp < n.lastSeen {
+		maxStamp = n.lastSeen
+	}
+	n.epoch = maxEpoch + 1
+	n.round = maxStamp + 1
 	n.lastSeen = n.round
 	n.hasToken = true
 	n.returnTo = None

@@ -51,8 +51,10 @@ func TestRecoveryProbesAllPeers(t *testing.T) {
 	}
 }
 
-func TestRecoveryRegeneratesWhenNoHolder(t *testing.T) {
-	n := newNode(t, 2, recConfig(4))
+// decideNoHolder drives node n through a probe round in which no reply
+// claims the token, and returns the decision's effects.
+func decideNoHolder(t *testing.T, n *Node) Effects {
+	t.Helper()
 	e := requestAndSuspect(t, n)
 	var decideGen uint64
 	for _, tm := range e.Timers {
@@ -60,18 +62,102 @@ func TestRecoveryRegeneratesWhenNoHolder(t *testing.T) {
 			decideGen = tm.Gen
 		}
 	}
-	// Replies from two of three peers, none holding, stamps up to 9.
-	n.HandleMessage(110, Message{Kind: MsgRecoveryReply, From: 0, To: 2, Round: 9, Epoch: 0})
-	n.HandleMessage(111, Message{Kind: MsgRecoveryReply, From: 1, To: 2, Round: 4, Epoch: 0})
-	e2 := n.HandleTimer(150, TimerRecoveryDecide, decideGen)
+	// Replies from two peers, none holding, stamps up to 9.
+	n.HandleMessage(110, Message{Kind: MsgRecoveryReply, From: 0, To: n.id, Round: 9, Epoch: 0})
+	n.HandleMessage(111, Message{Kind: MsgRecoveryReply, From: 1, To: n.id, Round: 4, Epoch: 0})
+	return n.HandleTimer(150, TimerRecoveryDecide, decideGen)
+}
+
+func TestRecoveryElectsCoordinator(t *testing.T) {
+	// A non-coordinator decider hands the evidence to the view's lowest
+	// live member instead of minting locally.
+	n := newNode(t, 2, recConfig(4))
+	e2 := decideNoHolder(t, n)
+	if n.HasToken() || e2.Granted {
+		t.Fatal("a non-coordinator must not mint locally")
+	}
+	var elect *Message
+	for i := range e2.Msgs {
+		if e2.Msgs[i].Kind == MsgElect {
+			elect = &e2.Msgs[i]
+		}
+	}
+	if elect == nil {
+		t.Fatal("decide must send MsgElect to the coordinator")
+	}
+	if elect.To != 0 || elect.Round != 9 || elect.Epoch != 0 {
+		t.Errorf("elect = %+v, want to=0 round=9 epoch=0", elect)
+	}
+	rearmed := false
+	for _, tm := range e2.Timers {
+		if tm.Kind == TimerRecovery {
+			rearmed = true
+		}
+	}
+	if !rearmed {
+		t.Error("suspicion must re-arm while the election is in flight")
+	}
+
+	// The coordinator mints once from the evidence (round 10 = maxStamp+1,
+	// epoch 1) and, being idle with no hold configured, passes it onward
+	// at once (round 11).
+	coordCfg := recConfig(4)
+	coordCfg.HoldIdle = 50
+	coord := newNode(t, 0, coordCfg)
+	em := coord.HandleMessage(160, *elect)
+	if !coord.HasToken() || coord.Round() != 10 || coord.epoch != 1 {
+		t.Fatalf("coordinator after elect: hasToken=%v round=%d epoch=%d, want true/10/1",
+			coord.HasToken(), coord.Round(), coord.epoch)
+	}
+	if len(em.Msgs) == 0 && len(em.Timers) == 0 {
+		t.Error("the minted token must start circulating (pass or hold)")
+	}
+	// ...and a duplicate elect from the same failure is stale.
+	before := coord.Round()
+	coord.HandleMessage(170, *elect)
+	if coord.Round() != before || coord.epoch != 1 {
+		t.Error("duplicate elect must be discarded as stale")
+	}
+}
+
+func TestRecoveryCoordinatorMintsLocally(t *testing.T) {
+	// When the decider IS the coordinator, it regenerates on the spot and
+	// the pending request is granted.
+	n := newNode(t, 0, recConfig(4))
+	e2 := decideNoHolder(t, n)
 	if !e2.Granted {
-		t.Fatal("regeneration must grant the pending request")
+		t.Fatal("regeneration at the coordinator must grant the pending request")
 	}
 	if !n.HasToken() || n.Round() != 10 {
 		t.Errorf("hasToken=%v round=%d, want round 10 (= maxStamp+1)", n.HasToken(), n.Round())
 	}
 	if n.epoch != 1 {
 		t.Errorf("epoch = %d, want 1", n.epoch)
+	}
+}
+
+func TestRecoveryBuggyElectionMintsAtRequester(t *testing.T) {
+	// The planted pre-election race: with BuggyElection every decider
+	// mints locally, even off-coordinator.
+	cfg := recConfig(4)
+	cfg.BuggyElection = true
+	n := newNode(t, 2, cfg)
+	e2 := decideNoHolder(t, n)
+	if !e2.Granted || !n.HasToken() || n.epoch != 1 {
+		t.Fatalf("buggy election must mint at the requester: granted=%v hasToken=%v epoch=%d",
+			e2.Granted, n.HasToken(), n.epoch)
+	}
+}
+
+func TestElectIgnoredByCurrentHolder(t *testing.T) {
+	cfg := recConfig(3)
+	cfg.HoldIdle = 50 // keep the token parked here
+	holder := newNode(t, 0, cfg)
+	holder.GiveToken(0)
+	round := holder.Round()
+	holder.HandleMessage(5, Message{Kind: MsgElect, From: 2, To: 0, Requester: 2, Round: 7, Epoch: 0})
+	if holder.Round() != round || holder.epoch != 0 {
+		t.Error("a live holder must ignore elect messages")
 	}
 }
 

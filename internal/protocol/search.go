@@ -13,32 +13,32 @@ func (n *Node) issueSearch(_ Time, e *Effects) {
 	case LinearSearch:
 		// System Search under the Lemma 5 restriction: the gimme
 		// crawls the ring one hop at a time; it expires after a full
-		// circle.
+		// circle (of the live view).
 		e.send(Message{
 			Kind:        MsgSearch,
 			From:        n.id,
-			To:          n.rg.Next(n.id),
-			Window:      n.cfg.N - 1,
+			To:          n.nextLive(n.id),
+			Window:      n.liveCount() - 1,
 			OriginStamp: n.lastSeen,
 			Requester:   n.id,
 			ReqSeq:      n.reqSeq,
 		})
 	case BinarySearch, Combined:
-		// Rule 5: gimme to the node directly across the ring,
+		// Rule 5: gimme to the node directly across the (live) ring,
 		// carrying the requester's circulation view.
 		e.send(Message{
 			Kind:        MsgSearch,
 			From:        n.id,
-			To:          n.rg.Across(n.id),
-			Window:      n.rg.HalfWindow(),
+			To:          n.acrossLive(n.id),
+			Window:      n.halfLive(),
 			OriginStamp: n.lastSeen,
 			Requester:   n.id,
 			ReqSeq:      n.reqSeq,
 		})
 	case DirectedSearch:
 		// Probe the node across the ring; replies steer us.
-		n.probeWindow = n.rg.HalfWindow()
-		n.probePos = n.rg.Across(n.id)
+		n.probeWindow = n.halfLive()
+		n.probePos = n.acrossLive(n.id)
 		e.send(Message{
 			Kind:        MsgProbe,
 			From:        n.id,
@@ -75,7 +75,7 @@ func (n *Node) forwardSearch(m Message, e *Effects) {
 		if m.Window <= 1 {
 			return // full circle: expire
 		}
-		next := n.rg.Next(n.id)
+		next := n.nextLive(n.id)
 		if next == m.Requester {
 			return
 		}
@@ -90,12 +90,12 @@ func (n *Node) forwardSearch(m Message, e *Effects) {
 			return // window exhausted: the trap alone remains
 		}
 		hop := m.Window / 2
-		dest := n.rg.Succ(n.id, hop)
+		dest := n.succLive(n.id, hop)
 		if n.lastSeen < m.OriginStamp {
 			// My circulation view is a strict ⊂_C prefix of the
 			// requester's: the token passed the requester after
 			// me — chase it the other way (rule 6's x^{-n/2}).
-			dest = n.rg.Succ(n.id, -hop)
+			dest = n.succLive(n.id, -hop)
 		}
 		fwd := m
 		fwd.From = n.id
@@ -141,9 +141,9 @@ func (n *Node) handleProbeReply(_ Time, m Message, e *Effects) {
 		return // probing exhausted; rely on the traps we planted
 	}
 	hop := n.probeWindow / 2
-	dest := n.rg.Succ(n.probePos, hop)
+	dest := n.succLive(n.probePos, hop)
 	if m.Round < n.lastSeen {
-		dest = n.rg.Succ(n.probePos, -hop)
+		dest = n.succLive(n.probePos, -hop)
 	}
 	n.probeWindow = hop
 	n.probePos = dest
@@ -164,11 +164,11 @@ func (n *Node) startPushRound(_ Time, e *Effects) {
 	n.pushGen++
 	sent := 0
 	seen := map[int]bool{n.id: true}
-	for w := n.rg.HalfWindow(); w >= 1; w /= 2 {
+	for w := n.halfLive(); w >= 1; w /= 2 {
 		if n.cfg.PushFanout > 0 && sent >= n.cfg.PushFanout {
 			break
 		}
-		dst := n.rg.Succ(n.id, w)
+		dst := n.succLive(n.id, w)
 		if seen[dst] {
 			continue
 		}

@@ -1,0 +1,166 @@
+package protocol
+
+// Dynamic membership (§5): a node may carry a live view — an epoch-stamped
+// subset of the ring positions that are currently members. With no view
+// applied (live == nil) every routing decision delegates to the full-ring
+// math, byte-for-byte identical to the churn-free protocol; once a view
+// arrives, token passes, searches and recovery probes route over the live
+// members only, walking the same ring order with the dead positions spliced
+// out.
+
+// ViewUpdate is one membership view change delivered to a node by its host.
+type ViewUpdate struct {
+	// Epoch is the view's epoch (membership.View.Epoch); stale updates
+	// are ignored.
+	Epoch uint64
+	// Members are the live ring positions, ascending.
+	Members []int
+	// SyncStamp is the state-transfer circulation stamp handed to a
+	// joining node so its ⊂_C comparisons start from the cluster's
+	// present, not from zero. Zero means no transfer.
+	SyncStamp uint64
+	// SyncEpoch is the state-transfer token epoch for a joining node.
+	SyncEpoch uint64
+}
+
+// ApplyView installs a membership view.
+func (n *Node) ApplyView(now Time, u ViewUpdate) Effects {
+	var e Effects
+	n.ApplyViewInto(now, u, &e)
+	return e
+}
+
+// ApplyViewInto is ApplyView appending into a caller-owned Effects.
+func (n *Node) ApplyViewInto(now Time, u ViewUpdate, e *Effects) {
+	if n.live != nil && u.Epoch <= n.viewEpoch {
+		return // stale or duplicate view
+	}
+	if n.live == nil {
+		n.live = make([]bool, n.cfg.N)
+	} else {
+		for i := range n.live {
+			n.live[i] = false
+		}
+	}
+	n.liveN = 0
+	for _, m := range u.Members {
+		if m >= 0 && m < n.cfg.N && !n.live[m] {
+			n.live[m] = true
+			n.liveN++
+		}
+	}
+	n.viewEpoch = u.Epoch
+	if u.SyncStamp > n.lastSeen {
+		n.lastSeen = u.SyncStamp
+	}
+	n.adoptEpoch(u.SyncEpoch)
+
+	// Departed members can never use a grant or accept a return: drop
+	// their traps and forget a return address pointing at them.
+	live := n.traps[:0]
+	for _, tr := range n.traps {
+		if n.member(tr.requester) {
+			live = append(live, tr)
+		}
+	}
+	n.traps = live
+	if n.returnTo != None && !n.member(n.returnTo) {
+		n.returnTo = None
+	}
+
+	// A probe round in flight counted nodes that may just have left (or
+	// missed ones that joined): abort it and re-arm the suspicion timer
+	// so the decision is taken over the new view.
+	if n.recovery.active {
+		n.recovery = recoveryState{}
+		if n.pending && !n.hasToken {
+			n.armRecovery(e)
+		}
+	}
+	_ = now
+}
+
+// ViewEpoch returns the epoch of the node's current membership view (0
+// until a view is applied).
+func (n *Node) ViewEpoch() uint64 { return n.viewEpoch }
+
+// member reports whether a ring position is in the live view (every
+// position is, before any view is applied).
+func (n *Node) member(id int) bool {
+	return n.live == nil || (id >= 0 && id < len(n.live) && n.live[id])
+}
+
+// liveCount returns the number of live members (N before any view).
+func (n *Node) liveCount() int {
+	if n.live == nil {
+		return n.cfg.N
+	}
+	return n.liveN
+}
+
+// nextLive returns the first live successor of id (id itself if the view
+// has collapsed to one member).
+func (n *Node) nextLive(id int) int {
+	if n.live == nil {
+		return n.rg.Next(id)
+	}
+	for k := 1; k <= n.cfg.N; k++ {
+		c := n.rg.Succ(id, k)
+		if n.live[c] {
+			return c
+		}
+	}
+	return id
+}
+
+// succLive returns the k-th live successor of id (negative k walks
+// predecessors), the live-ring analogue of ring.Succ.
+func (n *Node) succLive(id, k int) int {
+	if n.live == nil {
+		return n.rg.Succ(id, k)
+	}
+	if n.liveN == 0 {
+		return id
+	}
+	step := 1
+	if k < 0 {
+		step, k = -1, -k
+	}
+	cur := id
+	for hopped := 0; hopped < k; hopped++ {
+		for j := 1; j <= n.cfg.N; j++ {
+			c := n.rg.Succ(cur, step*j)
+			if n.live[c] {
+				cur = c
+				break
+			}
+		}
+	}
+	return cur
+}
+
+// halfLive is ring.HalfWindow over the live member count.
+func (n *Node) halfLive() int { return (n.liveCount() + 1) / 2 }
+
+// acrossLive is ring.Across over the live ring: the live member halfway
+// around from id.
+func (n *Node) acrossLive(id int) int {
+	if n.live == nil {
+		return n.rg.Across(id)
+	}
+	return n.succLive(id, n.halfLive())
+}
+
+// liveMin returns the lowest-numbered live member — the deterministic
+// regeneration coordinator of the current view.
+func (n *Node) liveMin() int {
+	if n.live == nil {
+		return 0
+	}
+	for i, ok := range n.live {
+		if ok {
+			return i
+		}
+	}
+	return n.id
+}

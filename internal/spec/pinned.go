@@ -1,0 +1,123 @@
+package spec
+
+import (
+	"fmt"
+
+	"adaptivetoken/internal/trs"
+)
+
+// Mid-execution ("pinned") initial states for the lossy systems. The churn
+// conformance checker (internal/conformance) cannot replay membership
+// changes or §5 token regeneration rule-by-rule — the Figure 5–7 systems
+// have no such rules — so it stutters across those windows and re-enters
+// rule-by-rule checking from a snapshot of the stable cluster. That
+// snapshot is expressed here as a Pin and converted into a literal spec
+// state whose histories are synthesized prefixes of one canonical
+// circulation chain.
+//
+// The synthesis is sound because every comparison the checker (and the spec
+// rules) make against histories is either a circulation count (the §4.4
+// round compaction: ⊂_C prefix comparison = stamp comparison) or a literal
+// prefix check between histories of the same state — and all pinned
+// histories are, by construction, prefixes of one chain with exactly the
+// circulation counts the implementation's stamps report. Which concrete
+// node each past circulation event is attributed to is unobservable: no
+// rule or invariant inspects the interior of the shared prefix.
+
+// Pin is a stable-epoch cluster snapshot in spec coordinates: ring
+// positions are 0..N-1 over the CURRENT membership view (the checker maps
+// implementation ids onto positions), and circulation counts are relative
+// to the view's stamp base.
+type Pin struct {
+	// N is the current view size (the spec ring size).
+	N int
+	// Holder is the position holding the token.
+	Holder int
+	// TokenCirc is the circulation count of the token's history.
+	TokenCirc int
+	// NodeCirc[i] is position i's local circulation count (its compacted
+	// prefix history length); at most TokenCirc, and exactly TokenCirc at
+	// the holder.
+	NodeCirc []int
+	// Ready[i] reports whether position i has a datum pending (an
+	// outstanding request, or a critical section in progress).
+	Ready []bool
+	// Traps are the (at, for) trap records: position `at` holds τ_for.
+	Traps [][2]int
+}
+
+// Validate reports whether the pin denotes a well-formed stable state.
+func (pin Pin) Validate() error {
+	if pin.N < 2 {
+		return fmt.Errorf("spec: pinned view of %d members, need at least 2", pin.N)
+	}
+	if pin.Holder < 0 || pin.Holder >= pin.N {
+		return fmt.Errorf("spec: pinned holder %d outside view of %d", pin.Holder, pin.N)
+	}
+	if len(pin.NodeCirc) != pin.N || len(pin.Ready) != pin.N {
+		return fmt.Errorf("spec: pin arrays sized %d/%d, want %d", len(pin.NodeCirc), len(pin.Ready), pin.N)
+	}
+	if pin.TokenCirc < 0 {
+		return fmt.Errorf("spec: negative token circulation count %d", pin.TokenCirc)
+	}
+	for i, c := range pin.NodeCirc {
+		if c < 0 || c > pin.TokenCirc {
+			return fmt.Errorf("spec: position %d circulation count %d outside [0, %d]", i, c, pin.TokenCirc)
+		}
+	}
+	if pin.NodeCirc[pin.Holder] != pin.TokenCirc {
+		return fmt.Errorf("spec: holder %d at count %d, token at %d — the holder's history is the token's",
+			pin.Holder, pin.NodeCirc[pin.Holder], pin.TokenCirc)
+	}
+	for _, tr := range pin.Traps {
+		if tr[0] < 0 || tr[0] >= pin.N || tr[1] < 0 || tr[1] >= pin.N {
+			return fmt.Errorf("spec: trap %v outside view of %d", tr, pin.N)
+		}
+	}
+	return nil
+}
+
+// PinnedSearchInit builds a SearchLossy state (label srch) for the pin.
+func PinnedSearchInit(pin Pin) (trs.Term, error) {
+	return pinnedInit(labelSrch, pin)
+}
+
+// PinnedBinarySearchInit builds a BinarySearchLossy state (label bin).
+func PinnedBinarySearchInit(pin Pin) (trs.Term, error) {
+	return pinnedInit(labelBin, pin)
+}
+
+func pinnedInit(label string, pin Pin) (trs.Term, error) {
+	if err := pin.Validate(); err != nil {
+		return nil, err
+	}
+	// The canonical chain: TokenCirc circulation events, attributed
+	// round-robin (the attribution inside the shared prefix is
+	// unobservable — only counts and literal prefix order matter).
+	events := make([]trs.Term, pin.TokenCirc)
+	for j := range events {
+		events[j] = circEvent(trs.Int(j % pin.N))
+	}
+	q := make([]trs.Term, pin.N)
+	p := make([]trs.Term, pin.N)
+	for i := 0; i < pin.N; i++ {
+		dx := trs.EmptySeq()
+		if pin.Ready[i] {
+			dx = dx.Append(dataEvent(trs.Int(i)))
+		}
+		q[i] = trs.Pair(node(i), dx)
+		p[i] = trs.Pair(node(i), trs.NewSeq(events[:pin.NodeCirc[i]]...))
+	}
+	w := make([]trs.Term, len(pin.Traps))
+	for i, tr := range pin.Traps {
+		w[i] = trapAt(node(tr[0]), node(tr[1]))
+	}
+	return trs.NewTuple(label,
+		trs.NewBag(q...),
+		trs.NewBag(p...),
+		node(pin.Holder),
+		trs.EmptyBag(),
+		trs.EmptyBag(),
+		trs.NewBag(w...),
+	), nil
+}

@@ -53,6 +53,9 @@ func liveConfigFor(sc Scenario) (protocol.Config, error) {
 // replay and shrink exactly like simulated ones) and, for conformance
 // mixes, the spec trace checker attached to every host.
 func runLive(sc Scenario, mix Mix, replay *faults.Schedule) Report {
+	if mix.Churn {
+		return runLiveChurn(sc, mix, replay)
+	}
 	rep := Report{Scenario: sc}
 	cfg, err := liveConfigFor(sc)
 	if err != nil {

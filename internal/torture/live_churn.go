@@ -1,0 +1,510 @@
+package torture
+
+// Live churn: membership events on real concurrent runtimes. The live
+// workload is a sequential causal chain (see live.go), so chain positions —
+// not wall-clock times — are the deterministic clock: each membership event
+// applies after a fixed completed acquire, at a settle point where the
+// cluster is provably quiescent. Conformance runs the same stutter
+// discipline as the simulated churn checker, but with harness-driven
+// segmentation: the harness retires the current pinned segment before it
+// mutates membership (and whenever a step carries recovery traffic), and
+// re-pins from live node state at the next settle point.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"adaptivetoken/internal/conformance"
+	"adaptivetoken/internal/driver"
+	"adaptivetoken/internal/faults"
+	"adaptivetoken/internal/host"
+	"adaptivetoken/internal/node"
+	"adaptivetoken/internal/protocol"
+	"adaptivetoken/internal/spec"
+	"adaptivetoken/internal/transport"
+)
+
+// liveSettleTimeout bounds one settle wait; hitting it means the cluster
+// never re-quiesced — a liveness failure (e.g. the token stayed lost).
+const liveSettleTimeout = 20 * time.Second
+
+// liveChurnOp is one membership event of a live scenario, keyed by chain
+// position: it applies after the afterReq-th completed acquire.
+type liveChurnOp struct {
+	afterReq int
+	op       faults.ChurnOp
+	node     int
+}
+
+// liveChurnPlan derives a scenario's initial view and membership events.
+// initial == nil means the full ring.
+func liveChurnPlan(sc Scenario) (initial []int, ops []liveChurnOp, err error) {
+	if sc.N < 3 {
+		return nil, nil, fmt.Errorf("torture: live churn needs N >= 3, got %d", sc.N)
+	}
+	at := 2 + int(sc.Seed%3)
+	if at >= sc.Requests {
+		at = sc.Requests / 2
+	}
+	switch sc.Mix {
+	case "live-join":
+		initial = make([]int, sc.N-1)
+		for i := range initial {
+			initial[i] = i
+		}
+		ops = []liveChurnOp{{afterReq: at, op: faults.ChurnJoin, node: sc.N - 1}}
+	case "live-leave":
+		victim := 1 + int(sc.Seed%uint64(sc.N-1))
+		ops = []liveChurnOp{{afterReq: at, op: faults.ChurnLeave, node: victim}}
+	case "live-crash-regen":
+		// The token homes to node 0 between acquires (every decorated grant
+		// returns to its interceptor, and node 0 is the only parker), so
+		// crashing node 0 at a settle point provably loses the token and
+		// forces the §5 probe/election repair on real wall clocks.
+		ops = []liveChurnOp{{afterReq: at, op: faults.ChurnCrash, node: 0}}
+	default:
+		err = fmt.Errorf("torture: mix %q has no live churn plan", sc.Mix)
+	}
+	return initial, ops, err
+}
+
+// liveSegments is the harness-driven churn conformance observer: a pinned
+// segment checker that stutters from the first window-opening step until
+// the harness commits the next segment. Mutate only under the SyncObserver
+// lock.
+type liveSegments struct {
+	seg     *conformance.Checker // nil while stuttering
+	done    int                  // steps checked by retired segments
+	windows int
+	err     error
+}
+
+func (l *liveSegments) OnStep(s driver.Step) {
+	if l.err != nil || l.seg == nil {
+		return
+	}
+	if conformance.OpensStutterWindow(s) {
+		l.retire()
+		return
+	}
+	l.seg.OnStep(s)
+	l.err = l.seg.Err()
+}
+
+func (l *liveSegments) OnFault(f driver.FaultEvent) {
+	if l.err != nil || l.seg == nil {
+		return
+	}
+	l.seg.OnFault(f)
+	l.err = l.seg.Err()
+}
+
+// retire closes the current segment and enters a stutter window.
+func (l *liveSegments) retire() {
+	if l.seg == nil {
+		return
+	}
+	l.done += l.seg.Steps()
+	l.seg = nil
+	l.windows++
+}
+
+func (l *liveSegments) steps() int {
+	if l.seg != nil {
+		return l.done + l.seg.Steps()
+	}
+	return l.done
+}
+
+// liveCluster bundles the live churn run's mutable state.
+type liveCluster struct {
+	cfg    protocol.Config
+	rts    []*node.Runtime
+	member []bool
+	segs   *liveSegments
+	obs    *host.SyncObserver
+	epoch  uint64 // view epoch of the last applied update
+}
+
+// members returns the current view, ascending.
+func (c *liveCluster) members() []int {
+	var out []int
+	for id, in := range c.member {
+		if in {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// liveNodeState is one settle-point probe of a member's protocol state.
+type liveNodeState struct {
+	holding, busy bool // busy: pending, in CS, decorated, or recovering
+	lastSeen      uint64
+	epoch         uint64
+	traps         []int
+}
+
+// probe snapshots every member's state under the runtime locks.
+func (c *liveCluster) probe() map[int]liveNodeState {
+	out := make(map[int]liveNodeState, len(c.member))
+	for id, in := range c.member {
+		if !in {
+			continue
+		}
+		var st liveNodeState
+		c.rts[id].Inspect(func(n *protocol.Node) {
+			st = liveNodeState{
+				holding:  n.HasToken(),
+				busy:     n.Pending() || n.InCS() || n.DecoratedHold() || n.RecoveryActive(),
+				lastSeen: n.LastSeen(),
+				epoch:    n.Epoch(),
+				traps:    n.TrapRequesters(nil),
+			}
+		})
+		out[id] = st
+	}
+	return out
+}
+
+// settled decides whether a probe shows a stable epoch: exactly one member
+// holds an undecorated token, nobody is pending, in its critical section or
+// mid-recovery. (In-flight messages show up as zero holders or a busy
+// endpoint, so quiescence of the data plane is implied.)
+func settledProbe(states map[int]liveNodeState) (holder int, ok bool) {
+	holder = -1
+	for id, st := range states {
+		if st.busy {
+			return -1, false
+		}
+		if st.holding {
+			if holder != -1 {
+				return -1, false
+			}
+			holder = id
+		}
+	}
+	return holder, holder != -1
+}
+
+// settle blocks until two consecutive probes agree on the same stable
+// epoch — the live analogue of the churn checker's stable-pin predicate.
+func (c *liveCluster) settle() (map[int]liveNodeState, error) {
+	deadline := time.Now().Add(liveSettleTimeout)
+	var prevHolder = -1
+	var prevSeen uint64
+	for time.Now().Before(deadline) {
+		states := c.probe()
+		if holder, ok := settledProbe(states); ok {
+			if holder == prevHolder && states[holder].lastSeen == prevSeen {
+				return states, nil
+			}
+			prevHolder, prevSeen = holder, states[holder].lastSeen
+		} else {
+			prevHolder = -1
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil, fmt.Errorf("torture: live churn: cluster never re-settled within %s (token lost, or a node stuck)", liveSettleTimeout)
+}
+
+// repin commits a new conformance segment from a settled probe.
+func (c *liveCluster) repin(states map[int]liveNodeState) error {
+	members := c.members()
+	holder, ok := settledProbe(states)
+	if !ok {
+		return fmt.Errorf("torture: live churn: repin on an unsettled cluster")
+	}
+	base := ^uint64(0)
+	var maxSeen uint64
+	for _, id := range members {
+		if s := states[id].lastSeen; s < base {
+			base = s
+		}
+		if s := states[id].lastSeen; s > maxSeen {
+			maxSeen = s
+		}
+	}
+	if states[holder].lastSeen != maxSeen {
+		return fmt.Errorf("torture: live churn: holder %d is stamp-stale (%d < %d)", holder, states[holder].lastSeen, maxSeen)
+	}
+	n := len(members)
+	pin := spec.Pin{
+		N:         n,
+		TokenCirc: int(maxSeen - base),
+		NodeCirc:  make([]int, n),
+		Ready:     make([]bool, n),
+	}
+	pos := make(map[int]int, n)
+	for p, id := range members {
+		pos[id] = p
+	}
+	for p, id := range members {
+		if id == holder {
+			pin.Holder = p
+		}
+		pin.NodeCirc[p] = int(states[id].lastSeen - base)
+		for _, req := range states[id].traps {
+			if rp, in := pos[req]; in {
+				pin.Traps = append(pin.Traps, [2]int{p, rp})
+			}
+		}
+	}
+	seg, err := conformance.NewPinned(c.cfg, members, base, pin)
+	if err != nil {
+		return fmt.Errorf("torture: live churn: re-pin: %w", err)
+	}
+	c.obs.Sync(func() {
+		c.segs.retire() // no-op when already stuttering
+		c.segs.seg = seg
+	})
+	return nil
+}
+
+// apply executes one membership event at a settle point. Crash leaves the
+// checker stuttering (the §5 repair happens during the next acquire); join
+// and leave re-pin immediately — view application moves no messages.
+func (c *liveCluster) apply(op liveChurnOp) error {
+	states, err := c.settle()
+	if err != nil {
+		return err
+	}
+	c.obs.Sync(func() { c.segs.retire() })
+	c.epoch++
+	switch op.op {
+	case faults.ChurnJoin:
+		// State transfer: the freshest stamp and token epoch among the
+		// current members seed the joiner, exactly like the sim driver.
+		var syncStamp, syncEpoch uint64
+		for _, st := range states {
+			if st.lastSeen > syncStamp {
+				syncStamp = st.lastSeen
+			}
+			if st.epoch > syncEpoch {
+				syncEpoch = st.epoch
+			}
+		}
+		c.member[op.node] = true
+		u := protocol.ViewUpdate{Epoch: c.epoch, Members: c.members()}
+		for _, id := range c.members() {
+			v := u
+			if id == op.node {
+				v.SyncStamp = syncStamp
+				v.SyncEpoch = syncEpoch
+			}
+			c.rts[id].ApplyView(v)
+		}
+	case faults.ChurnLeave:
+		if states[op.node].holding {
+			return fmt.Errorf("torture: live churn: leave victim %d holds the parked token", op.node)
+		}
+		c.member[op.node] = false
+		u := protocol.ViewUpdate{Epoch: c.epoch, Members: c.members()}
+		for _, id := range c.members() {
+			c.rts[id].ApplyView(u)
+		}
+	case faults.ChurnCrash:
+		c.rts[op.node].Stop()
+		c.member[op.node] = false
+		u := protocol.ViewUpdate{Epoch: c.epoch, Members: c.members()}
+		for _, id := range c.members() {
+			c.rts[id].ApplyView(u)
+		}
+		return nil // stay stuttering until the post-repair settle
+	default:
+		return fmt.Errorf("torture: live churn: unknown op %q", op.op)
+	}
+	states, err = c.settle()
+	if err != nil {
+		return err
+	}
+	return c.repin(states)
+}
+
+// runLiveChurn executes one live churn scenario: a sequential acquire chain
+// over real runtimes, membership events at deterministic chain positions,
+// and segment-pinned conformance with regeneration stutter rules.
+func runLiveChurn(sc Scenario, mix Mix, replay *faults.Schedule) Report {
+	rep := Report{Scenario: sc}
+	cfg, err := liveConfigFor(sc)
+	if err != nil {
+		rep.Err = err
+		return rep
+	}
+	// A deeper park than plain live runs: settle points must outlast the
+	// whole chain, or the rotating token would race the harness.
+	cfg.HoldIdle = 150_000
+	if mix.Crash {
+		// 2000 units = 400ms wall at liveUnit: far above a healthy acquire
+		// (a few ms), fast enough that the crash repair stays test-sized.
+		cfg.RecoveryTimeout = 2_000
+	}
+
+	initial, ops, err := liveChurnPlan(sc)
+	if err != nil {
+		rep.Err = err
+		return rep
+	}
+
+	var inj *faults.Injector
+	if replay != nil {
+		inj = faults.Replay(*replay)
+		rep.Schedule = *replay
+	} else {
+		inj, err = faults.NewInjector(mix.Plan(sc))
+		if err != nil {
+			rep.Err = err
+			return rep
+		}
+	}
+	shared := faults.Share(inj)
+
+	segs := &liveSegments{}
+	obs := host.NewSyncObserver(segs)
+
+	cn, err := transport.NewChannelNetwork(sc.N)
+	if err != nil {
+		rep.Err = err
+		return rep
+	}
+	rts := make([]*node.Runtime, sc.N)
+	stop := func() {
+		cn.Close()
+		for _, rt := range rts {
+			if rt != nil {
+				rt.Stop()
+			}
+		}
+	}
+	for i := range rts {
+		p, perr := protocol.New(i, cfg)
+		if perr != nil {
+			stop()
+			rep.Err = perr
+			return rep
+		}
+		rt, rerr := node.NewRuntime(p, cn.Endpoint(i), liveUnit,
+			node.WithFaults(shared), node.WithObserver(obs))
+		if rerr != nil {
+			stop()
+			rep.Err = rerr
+			return rep
+		}
+		rts[i] = rt
+		rt.Start()
+	}
+
+	c := &liveCluster{cfg: cfg, rts: rts, segs: segs, obs: obs,
+		member: make([]bool, sc.N)}
+	if initial == nil {
+		for i := range c.member {
+			c.member[i] = true
+		}
+	} else {
+		c.epoch = 1
+		for _, id := range initial {
+			c.member[id] = true
+		}
+		u := protocol.ViewUpdate{Epoch: c.epoch, Members: c.members()}
+		for _, id := range initial {
+			rts[id].ApplyView(u)
+		}
+	}
+
+	// The first segment's stable epoch is known a priori: node 0 holds the
+	// bootstrap token and every stamp is zero.
+	members := c.members()
+	seg0, err := conformance.NewPinned(cfg, members, 0, spec.Pin{
+		N:        len(members),
+		NodeCirc: make([]int, len(members)),
+		Ready:    make([]bool, len(members)),
+	})
+	if err != nil {
+		stop()
+		rep.Err = err
+		return rep
+	}
+	obs.Sync(func() { segs.seg = seg0 })
+	rts[0].Bootstrap()
+
+	checkerErr := func() error {
+		var cerr error
+		obs.Sync(func() { cerr = segs.err })
+		return cerr
+	}
+	stuttering := func() bool {
+		var s bool
+		obs.Sync(func() { s = segs.seg == nil })
+		return s
+	}
+
+	werr := func() error {
+		nextOp := 0
+		for k := 0; k < sc.Requests; k++ {
+			for nextOp < len(ops) && ops[nextOp].afterReq == k {
+				if aerr := c.apply(ops[nextOp]); aerr != nil {
+					return aerr
+				}
+				nextOp++
+			}
+			id := int((sc.Seed + uint64(k)) % uint64(sc.N))
+			for !c.member[id] {
+				id = (id + 1) % sc.N
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), liveAcquireTimeout)
+			aerr := rts[id].Acquire(ctx)
+			cancel()
+			if aerr != nil {
+				return fmt.Errorf("torture: live churn acquire %d at node %d: %w", k, id, aerr)
+			}
+			rep.Grants++
+			rts[id].Release()
+			if cerr := checkerErr(); cerr != nil {
+				return fmt.Errorf("torture: conformance: %w", cerr)
+			}
+			// A stutter window (a crash repair, or recovery traffic inside
+			// a slow acquire) closes at the next stable epoch: settle and
+			// re-pin so the rest of the chain is rule-checked again.
+			if stuttering() {
+				states, serr := c.settle()
+				if serr != nil {
+					return serr
+				}
+				if rerr := c.repin(states); rerr != nil {
+					return rerr
+				}
+			}
+		}
+		// The run must END in a stable epoch: one final re-pin closes any
+		// still-open window (e.g. a vacuous recovery fire on the last step).
+		states, serr := c.settle()
+		if serr != nil {
+			return serr
+		}
+		if stuttering() {
+			return c.repin(states)
+		}
+		return nil
+	}()
+
+	stop() // all hosts quiescent: checker and schedule safe to read
+
+	if replay == nil {
+		rep.Schedule = shared.Schedule()
+	}
+	switch {
+	case werr != nil:
+		rep.Err = werr
+	case segs.err != nil:
+		rep.Err = fmt.Errorf("torture: conformance: %w", segs.err)
+	case segs.seg == nil:
+		rep.Err = fmt.Errorf("torture: conformance: live run ended inside a churn window (%d windows)", segs.windows)
+	default:
+		if cerr := segs.seg.Finish(); cerr != nil {
+			rep.Err = fmt.Errorf("torture: conformance: %w", cerr)
+		}
+		rep.Steps = segs.steps()
+	}
+	return rep
+}

@@ -93,6 +93,46 @@ func TestLiveReplayIsDeterministic(t *testing.T) {
 	}
 }
 
+// Live crash-regeneration end to end: the parked token holder fail-stops
+// on real runtimes, the §5 suspicion timers, probe round and election run
+// on real wall clocks, every surviving request is still served, and the
+// post-repair chain is conformance-checked again (Steps > 0 proves the
+// checker re-pinned after the stutter window instead of going dark).
+func TestLiveCrashRegenerates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock recovery timeout in -short mode")
+	}
+	rep := Run(Scenario{Variant: "linear", Mix: "live-crash-regen", Seed: 1, Requests: 8}, nil)
+	if rep.Err != nil {
+		t.Fatalf("live crash-regen failed: %v", rep.Err)
+	}
+	if rep.Grants != 8 {
+		t.Fatalf("grants = %d, want 8 (every surviving request served across the repair)", rep.Grants)
+	}
+	if rep.Steps == 0 {
+		t.Fatal("no conformance-checked steps; the checker never re-pinned after the crash")
+	}
+}
+
+// Replaying a recorded live churn schedule reproduces the run: membership
+// events key off chain positions (not wall-clock times), so the chain —
+// and with it every grant — is deterministic on real runtimes too.
+func TestLiveChurnReplayIsDeterministic(t *testing.T) {
+	sc := Scenario{Variant: "linear", Mix: "live-leave", Seed: 3, Requests: 8}
+	orig := Run(sc, nil)
+	if orig.Err != nil {
+		t.Fatalf("policy run failed: %v", orig.Err)
+	}
+	sched := orig.Schedule
+	replayed := Run(sc, &sched)
+	if replayed.Err != nil {
+		t.Fatalf("replay failed: %v", replayed.Err)
+	}
+	if replayed.Grants != orig.Grants {
+		t.Fatalf("replay diverged: grants %d vs %d", replayed.Grants, orig.Grants)
+	}
+}
+
 // Live scenarios reject variants whose grants race the wall clock: ring
 // (rotation-served) and binary search (trap-sprung by token movement).
 func TestLiveRejectsNonDeterministicVariants(t *testing.T) {

@@ -8,10 +8,13 @@ import "adaptivetoken/internal/faults"
 // action never disturbs the alignment of the ones before it, so any subset
 // of a recorded schedule is itself a valid deterministic scenario; the
 // shrinker just keeps the subsets that still fail. The pause windows are
-// dropped wholesale at the end if the failure survives without them.
+// dropped wholesale at the end if the failure survives without them, and
+// membership (churn) events — time-keyed, so likewise independent — are
+// then minimized one at a time.
 func Shrink(f Failure) Failure {
+	churn := f.Schedule.Churn
 	fails := func(actions []faults.Action, pauses []faults.Pause) (string, bool) {
-		sched := faults.Schedule{Actions: actions, Pauses: pauses}
+		sched := faults.Schedule{Actions: actions, Pauses: pauses, Churn: churn}
 		rep := Run(f.Scenario, &sched)
 		if rep.Err != nil {
 			return rep.Err.Error(), true
@@ -69,6 +72,23 @@ func Shrink(f Failure) Failure {
 		}
 	}
 
-	f.Schedule = faults.Schedule{Actions: actions, Pauses: pauses}
+	// Churn events: greedy one-at-a-time removal (the lists are short). An
+	// event that survives this pass is load-bearing — dropping it makes the
+	// violation vanish.
+	for i := 0; i < len(churn); {
+		cand := make([]faults.ChurnEvent, 0, len(churn)-1)
+		cand = append(cand, churn[:i]...)
+		cand = append(cand, churn[i+1:]...)
+		prev := churn
+		churn = cand
+		if msg, bad := fails(actions, pauses); bad {
+			f.Err = msg
+		} else {
+			churn = prev
+			i++
+		}
+	}
+
+	f.Schedule = faults.Schedule{Actions: actions, Pauses: pauses, Churn: churn}
 	return f
 }

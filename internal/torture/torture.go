@@ -70,8 +70,18 @@ type Mix struct {
 	// config is then outside the spec systems, so only safety (token
 	// count) and liveness of the surviving nodes are checked.
 	Crash bool
+	// Churn schedules membership events (join/leave/crash) through the
+	// fault plan and runs the churn engine; with Conformance also set, the
+	// trace is checked by the stutter-rule churn checker
+	// (conformance.NewChurn) instead of the fixed-ring one.
+	Churn bool
+	// Buggy plants Config.BuggyElection: every recovery decider mints
+	// locally instead of funneling through the coordinator election.
+	Buggy bool
 	// Expected-to-fail mixes (the planted bugs) are excluded from sweeps.
 	Unsafe bool
+	// Members derives the initial membership view (nil = the full ring).
+	Members func(sc Scenario) []int
 	// Live runs the scenario on real concurrent runtimes over a channel
 	// transport (wall clocks, goroutine scheduling) instead of the
 	// simulation driver; see live.go.
@@ -131,6 +141,97 @@ var mixes = map[string]Mix{
 		},
 	},
 
+	// The churn scenario families: deterministic membership events derived
+	// from the scenario seed, driven through the fault plan so every event
+	// is recorded, replayed and ddmin-shrunk like any other fault. All of
+	// them run under the stutter-rule churn conformance checker, and the
+	// driver's per-epoch census machine-checks single-token safety on every
+	// applied step throughout.
+	"join-storm": {
+		Name: "join-storm", Conformance: true, Churn: true,
+		Members: func(sc Scenario) []int { return joinStormInitial(sc) },
+		Plan: func(sc Scenario) faults.Plan {
+			return faults.Plan{Seed: sc.Seed ^ planSalt, Churn: joinStormEvents(sc)}
+		},
+	},
+	"leave-storm": {
+		Name: "leave-storm", Conformance: true, Churn: true,
+		Plan: func(sc Scenario) faults.Plan {
+			v := churnVictims(sc.Seed, sc.N, 2)
+			var ev []faults.ChurnEvent
+			for i, node := range v {
+				ev = append(ev, faults.ChurnEvent{
+					Op: faults.ChurnLeave, Node: node,
+					At: int64(60+sc.Seed%60) + int64(i)*140,
+				})
+			}
+			return faults.Plan{Seed: sc.Seed ^ planSalt, Churn: ev}
+		},
+	},
+	"crash-regen": {
+		Name: "crash-regen", Conformance: true, Churn: true,
+		Plan: func(sc Scenario) faults.Plan {
+			v := churnVictims(sc.Seed, sc.N, 1)
+			return faults.Plan{Seed: sc.Seed ^ planSalt, Churn: []faults.ChurnEvent{
+				{Op: faults.ChurnCrash, Node: v[0], At: int64(30 + sc.Seed%80)},
+			}}
+		},
+	},
+	// churn-mix composes all three event kinds in one run: a joiner enters
+	// while one node drains away gracefully and another fail-stops.
+	"churn-mix": {
+		Name: "churn-mix", Conformance: true, Churn: true,
+		Members: func(sc Scenario) []int { return churnMixInitial(sc) },
+		Plan: func(sc Scenario) faults.Plan {
+			if sc.N < 4 {
+				return faults.Plan{Seed: sc.Seed ^ planSalt}
+			}
+			v := churnVictims(sc.Seed, sc.N-1, 2) // victims from the initial view
+			return faults.Plan{Seed: sc.Seed ^ planSalt, Churn: []faults.ChurnEvent{
+				{Op: faults.ChurnJoin, Node: sc.N - 1, At: int64(40 + sc.Seed%40)},
+				{Op: faults.ChurnLeave, Node: v[0], At: int64(160 + sc.Seed%60)},
+				{Op: faults.ChurnCrash, Node: v[1], At: int64(300 + sc.Seed%80)},
+			}}
+		},
+	},
+	// churn-lossy composes membership churn with the lossy link: cheap
+	// drops and jitter while nodes leave and crash. Dropped recovery
+	// traffic is retried by the re-armed suspicion timers; dropped data
+	// traffic by the re-search timer.
+	"churn-lossy": {
+		Name: "churn-lossy", Conformance: true, Churn: true,
+		Plan: func(sc Scenario) faults.Plan {
+			v := churnVictims(sc.Seed, sc.N, 2)
+			var ev []faults.ChurnEvent
+			if len(v) == 2 {
+				ev = []faults.ChurnEvent{
+					{Op: faults.ChurnLeave, Node: v[0], At: int64(80 + sc.Seed%60)},
+					{Op: faults.ChurnCrash, Node: v[1], At: int64(260 + sc.Seed%80)},
+				}
+			}
+			return faults.Plan{
+				Seed: sc.Seed ^ planSalt, Churn: ev,
+				DropCheap: 0.15, DupCheap: 0.1,
+				JitterProb: 0.1, JitterMax: 3,
+			}
+		},
+	},
+	// churn-regen-bug is the planted regeneration bug: BuggyElection makes
+	// every recovery decider mint locally, so when the bootstrap holder
+	// dies with the parked token and two suspicion timers decide in the
+	// same window, two tokens are minted under the SAME epoch — which the
+	// per-epoch census must catch on the very step the second mint applies.
+	// Sweeps never include it; the harness proves it catches, shrinks and
+	// replays the violation.
+	"churn-regen-bug": {
+		Name: "churn-regen-bug", Churn: true, Buggy: true, Unsafe: true,
+		Plan: func(sc Scenario) faults.Plan {
+			return faults.Plan{Seed: sc.Seed ^ planSalt, Churn: []faults.ChurnEvent{
+				{Op: faults.ChurnCrash, Node: 0, At: 1},
+			}}
+		},
+	},
+
 	// The live-* mixes run on real concurrent runtimes over the channel
 	// transport. Their workload is a single causal chain (see live.go), so
 	// the shared injector's dispatch sequence — and with it the recorded
@@ -164,6 +265,85 @@ var mixes = map[string]Mix{
 			return faults.Plan{Seed: sc.Seed ^ planSalt, Unsafe: true, DupToken: 1.0}
 		},
 	},
+
+	// The live-* churn mixes run membership events on real concurrent
+	// runtimes (see live_churn.go): events apply at deterministic chain
+	// positions, and conformance runs the stutter discipline with
+	// harness-driven segment re-pins. Plans stay clean — probabilistic
+	// faults would entangle with the wall clock; the churn IS the fault.
+	"live-join": {
+		Name: "live-join", Live: true, Conformance: true, Churn: true,
+		Plan: func(sc Scenario) faults.Plan {
+			return faults.Plan{Seed: sc.Seed ^ planSalt}
+		},
+	},
+	"live-leave": {
+		Name: "live-leave", Live: true, Conformance: true, Churn: true,
+		Plan: func(sc Scenario) faults.Plan {
+			return faults.Plan{Seed: sc.Seed ^ planSalt}
+		},
+	},
+	// live-crash-regen fail-stops the parked token holder on real wall
+	// clocks: the §5 suspicion timers, probe round and election run on
+	// real timers, and the post-repair chain is rule-checked again.
+	"live-crash-regen": {
+		Name: "live-crash-regen", Live: true, Conformance: true, Churn: true, Crash: true,
+		Plan: func(sc Scenario) faults.Plan {
+			return faults.Plan{Seed: sc.Seed ^ planSalt}
+		},
+	},
+}
+
+// joinStormInitial is the join-storm starting view: the ring minus the two
+// highest ids, which join mid-run. Below 4 nodes there is no room to carve
+// out joiners, so the full ring starts (and the storm is empty).
+func joinStormInitial(sc Scenario) []int {
+	if sc.N < 4 {
+		return nil
+	}
+	m := make([]int, sc.N-2)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+// joinStormEvents staggers the two carved-out nodes back in.
+func joinStormEvents(sc Scenario) []faults.ChurnEvent {
+	if sc.N < 4 {
+		return nil
+	}
+	return []faults.ChurnEvent{
+		{Op: faults.ChurnJoin, Node: sc.N - 2, At: int64(40 + sc.Seed%50)},
+		{Op: faults.ChurnJoin, Node: sc.N - 1, At: int64(180 + sc.Seed%60)},
+	}
+}
+
+// churnMixInitial starts churn-mix one node short; that node joins mid-run.
+func churnMixInitial(sc Scenario) []int {
+	if sc.N < 4 {
+		return nil
+	}
+	m := make([]int, sc.N-1)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+// churnVictims picks up to k distinct victims in [1, n) (never node 0, the
+// bootstrap holder), seed-deterministically.
+func churnVictims(seed uint64, n, k int) []int {
+	out := make([]int, 0, k)
+	used := make(map[int]bool)
+	for i := 0; len(out) < k && i < 4*k+8; i++ {
+		v := 1 + int((seed+uint64(i)*2654435761)%uint64(n-1))
+		if !used[v] {
+			used[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // MixNames returns all registered mix names, sorted.
@@ -177,7 +357,12 @@ func MixNames() []string {
 }
 
 // SweepMixes are the safe simulation mixes a sweep runs by default.
-func SweepMixes() []string { return []string{"clean", "lossy", "pause", "crash"} }
+func SweepMixes() []string {
+	return []string{
+		"clean", "lossy", "pause", "crash",
+		"join-storm", "leave-storm", "crash-regen", "churn-mix", "churn-lossy",
+	}
+}
 
 // SweepVariants are the spec-modeled variants a sweep runs by default.
 func SweepVariants() []string { return []string{"ring", "linear", "binsearch"} }
@@ -185,7 +370,9 @@ func SweepVariants() []string { return []string{"ring", "linear", "binsearch"} }
 // SweepLiveMixes are the safe live-transport mixes; pair them with
 // SweepLiveVariants in a separate sweep (live scenarios need a search
 // variant, so the default ring variant is excluded).
-func SweepLiveMixes() []string { return []string{"live-clean", "live-lossy"} }
+func SweepLiveMixes() []string {
+	return []string{"live-clean", "live-lossy", "live-join", "live-leave", "live-crash-regen"}
+}
 
 // SweepLiveVariants are the variants live scenarios support: linear
 // search, whose gimme crawl reaches a parked token directly and keeps the
@@ -215,9 +402,10 @@ func configFor(sc Scenario, mix Mix) (protocol.Config, error) {
 	if v != protocol.RingToken {
 		cfg.ResearchTimeout = 150
 	}
-	if mix.Crash {
+	if mix.Crash || mix.Churn {
 		cfg.RecoveryTimeout = 150
 	}
+	cfg.BuggyElection = mix.Buggy
 	return cfg, nil
 }
 
@@ -263,25 +451,60 @@ func Run(sc Scenario, replay *faults.Schedule) Report {
 		}
 	}
 
-	opts := driver.Options{Seed: sc.Seed, CSTime: sim.Time(sc.CSTime), Faults: inj}
-	var chk *conformance.Checker
+	var members []int
+	if mix.Members != nil {
+		members = mix.Members(sc)
+	}
+	if mix.Churn && members == nil {
+		// Full-ring start, but the churn engine (and its snapshot, which
+		// the churn checker re-pins from) must still be on — even when a
+		// shrink candidate has dropped every membership event.
+		members = make([]int, sc.N)
+		for i := range members {
+			members[i] = i
+		}
+	}
+
+	opts := driver.Options{
+		Seed: sc.Seed, CSTime: sim.Time(sc.CSTime), Faults: inj,
+		InitialMembers: members,
+	}
+	type finisher interface {
+		Finish() error
+		Steps() int
+	}
+	var chk finisher
+	var churnChk *conformance.ChurnChecker
 	if mix.Conformance {
-		chk, err = conformance.New(cfg)
+		if mix.Churn {
+			churnChk, err = conformance.NewChurn(cfg, members)
+			chk = churnChk
+		} else {
+			var fixed *conformance.Checker
+			fixed, err = conformance.New(cfg)
+			chk = fixed
+		}
 		if err != nil {
 			rep.Err = err
 			return rep
 		}
-		opts.Observer = chk
+		opts.Observer = chk.(driver.Observer)
 	}
 	r, err := driver.New(cfg, opts)
 	if err != nil {
 		rep.Err = err
 		return rep
 	}
+	if churnChk != nil {
+		churnChk.Bind(r.ChurnSnapshot)
+	}
 
-	if mix.Crash {
+	switch {
+	case mix.Churn:
+		err = runChurn(r, sc, inj.Churn())
+	case mix.Crash:
 		err = runCrash(r, sc)
-	} else {
+	default:
 		_, err = r.RunWorkload(workload.Poisson{N: sc.N, MeanGap: sc.MeanGap},
 			sc.Requests, sim.Time(sc.MaxTime))
 	}
@@ -295,6 +518,8 @@ func Run(sc Scenario, replay *faults.Schedule) Report {
 		rep.Err = err
 	case r.InvariantErr() != nil:
 		rep.Err = r.InvariantErr()
+	case r.ChurnErr() != nil:
+		rep.Err = r.ChurnErr()
 	case chk != nil:
 		if cerr := chk.Finish(); cerr != nil {
 			rep.Err = fmt.Errorf("torture: conformance: %w", cerr)
@@ -302,6 +527,83 @@ func Run(sc Scenario, replay *faults.Schedule) Report {
 		rep.Steps = chk.Steps()
 	}
 	return rep
+}
+
+// runChurn drives a churn-mix scenario: the injector's membership events
+// fire on their own schedule while a Poisson request load runs over the
+// nodes that survive to the end (a crash victim's requests are never
+// issued — they would die with it). One final probe request lands after
+// the last churn event so the run always exercises — and must re-commit —
+// a stable epoch after the final burst; per-epoch single-token safety is
+// machine-checked by the driver census on every applied step along the way.
+func runChurn(r *driver.Runner, sc Scenario, events []faults.ChurnEvent) error {
+	crashed := make(map[int]bool)
+	var lastChurn sim.Time
+	for _, e := range events {
+		if e.Op == faults.ChurnCrash {
+			crashed[e.Node] = true
+		}
+		if sim.Time(e.At) > lastChurn {
+			lastChurn = sim.Time(e.At)
+		}
+	}
+	rng := sim.NewRNG(sc.Seed ^ 0xa5a5a5a5a5a5a5a5)
+	reqs := workload.Take(workload.Poisson{N: sc.N, MeanGap: sc.MeanGap}, rng, sc.Requests)
+	var lastAt sim.Time
+	issued := 0
+	for _, q := range reqs {
+		if crashed[q.Node] {
+			continue
+		}
+		if err := r.Request(q.At, q.Node); err != nil {
+			return err
+		}
+		issued++
+		if q.At > lastAt {
+			lastAt = q.At
+		}
+	}
+	probeAt := lastAt + 500
+	if lastChurn+500 > probeAt {
+		probeAt = lastChurn + 500
+	}
+	probe := 0
+	for crashed[probe] {
+		probe++
+	}
+	if probe < sc.N {
+		if err := r.Request(probeAt, probe); err != nil {
+			return err
+		}
+		issued++
+		lastAt = probeAt
+	}
+
+	maxTime := sim.Time(sc.MaxTime)
+	for r.Engine().Now() < maxTime {
+		next := r.Engine().Now() + 5_000
+		if next > maxTime {
+			next = maxTime
+		}
+		r.Engine().RunUntil(next)
+		if r.ChurnErr() != nil {
+			break
+		}
+		if r.Waits.Outstanding() == 0 && r.Engine().Now() >= lastAt && r.Engine().Now() >= lastChurn {
+			break
+		}
+	}
+	if err := r.ChurnErr(); err != nil {
+		return err
+	}
+	if out := r.Waits.Outstanding(); out > 0 {
+		return fmt.Errorf("torture: churn mix: %d of %d requests unserved at t=%d",
+			out, issued, r.Engine().Now())
+	}
+	if c := r.TokenCount(); c > 1 {
+		return fmt.Errorf("torture: churn mix: %d tokens after settling", c)
+	}
+	return nil
 }
 
 // runCrash drives a crash-mix scenario: one seed-derived victim dies early,

@@ -75,6 +75,90 @@ func TestPlantedTokenDupCaughtShrunkReplayed(t *testing.T) {
 	}
 }
 
+// The planted regeneration bug: with BuggyElection every recovery decider
+// mints locally, so two suspicion timers deciding in one window produce two
+// tokens under the SAME epoch. The per-epoch census catches it on the very
+// step the second mint applies; the counterexample shrinks to the single
+// crash event that kills the parked token (the clean plan has no other
+// fault actions), and the written artifact replays to the same violation.
+func TestPlantedRegenBugCaughtShrunkReplayed(t *testing.T) {
+	var rep Report
+	// MeanGap 1 bunches the requests: several nodes go pending before the
+	// RecoveryTimeout fires, so multiple deciders share one decide window
+	// and the buggy election double-mints within a single epoch.
+	sc := Scenario{Variant: "linear", Mix: "churn-regen-bug", Requests: 12, MeanGap: 1}
+	for seed := uint64(1); seed <= 10; seed++ {
+		sc.Seed = seed
+		if rep = Run(sc, nil); rep.Err != nil {
+			break
+		}
+	}
+	if rep.Err == nil {
+		t.Fatal("planted regeneration bug never tripped the per-epoch census")
+	}
+	if !strings.Contains(rep.Err.Error(), "tokens in epoch") {
+		t.Fatalf("unexpected violation: %v", rep.Err)
+	}
+
+	f := Failure{Scenario: rep.Scenario, Schedule: rep.Schedule, Err: rep.Err.Error()}
+	shrunk := Shrink(f)
+	if got := len(shrunk.Schedule.Churn); got != 1 {
+		t.Fatalf("shrunk schedule has %d churn events, want 1 (the crash that loses the token)", got)
+	}
+	if got := len(shrunk.Schedule.Actions); got != 0 {
+		t.Fatalf("shrunk schedule kept %d fault actions; the double mint needs none", got)
+	}
+	rerep := shrunk.Reproduce()
+	if rerep.Err == nil || !strings.Contains(rerep.Err.Error(), "tokens in epoch") {
+		t.Fatalf("shrunk counterexample no longer reproduces the double mint: %v", rerep.Err)
+	}
+
+	path, err := WriteArtifact(t.TempDir(), shrunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Scenario != shrunk.Scenario || len(loaded.Schedule.Churn) != 1 {
+		t.Fatalf("artifact round-trip mismatch: %+v", loaded)
+	}
+	if rerep := loaded.Reproduce(); rerep.Err == nil {
+		t.Fatal("loaded artifact does not reproduce the violation")
+	}
+	// The identical schedule under the FIXED election (crash-regen shares
+	// the config minus BuggyElection) regenerates exactly one token and
+	// passes conformance: the bug is in the election, not the harness.
+	fixed := loaded
+	fixed.Scenario.Mix = "crash-regen"
+	if rep := fixed.Reproduce(); rep.Err != nil {
+		t.Fatalf("fixed election fails under the planted-bug schedule: %v", rep.Err)
+	}
+}
+
+// Replaying a recorded churn-mix schedule reproduces the run exactly —
+// grants and checked steps — the property churn artifacts stand on.
+func TestChurnReplayIsDeterministic(t *testing.T) {
+	sc := Scenario{Variant: "binsearch", Mix: "churn-lossy", Seed: 5}
+	orig := Run(sc, nil)
+	if orig.Err != nil {
+		t.Fatalf("policy run failed: %v", orig.Err)
+	}
+	if len(orig.Schedule.Churn) == 0 {
+		t.Fatal("no churn events recorded in the schedule")
+	}
+	sched := orig.Schedule
+	replayed := Run(sc, &sched)
+	if replayed.Err != nil {
+		t.Fatalf("replay failed: %v", replayed.Err)
+	}
+	if replayed.Grants != orig.Grants || replayed.Steps != orig.Steps {
+		t.Fatalf("replay diverged: grants %d vs %d, steps %d vs %d",
+			replayed.Grants, orig.Grants, replayed.Steps, orig.Steps)
+	}
+}
+
 // Replaying a recorded safe-mix schedule reproduces the run exactly: same
 // grants, no violation.
 func TestReplayIsDeterministic(t *testing.T) {
