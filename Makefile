@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-mem bench-baseline bench-opt bench-wheel vet check clean torture fuzz smoke-live trace-demo
+.PHONY: build test race bench bench-mem bench-baseline bench-opt bench-wheel bench-shard vet check clean torture torture-shards fuzz smoke-live trace-demo
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ test:
 # deterministic; this proves it stays data-race free.
 race:
 	$(GO) test -race ./internal/bench/... ./internal/node/... \
-		./internal/core/... ./internal/torture/... \
+		./internal/core/... ./internal/torture/... ./internal/shard/... \
 		./cmd/tokensim/... ./cmd/ringnode/...
 
 vet:
@@ -75,6 +75,22 @@ bench-wheel: build
 torture: build
 	$(GO) run ./cmd/tokensim -torture -artifact-dir artifacts
 
+# Sharded torture families on the keyspace-sharded cluster: three
+# independent BinarySearch rings behind the router, faults confined to
+# chosen shards, the single-token census machine-checked per shard.
+# Failures carry per-shard fault schedules and shrink shard by shard.
+# See EXPERIMENTS.md ("Sharded fig9") and DESIGN.md §12.
+torture-shards: build
+	$(GO) run ./cmd/tokensim -torture \
+		-torture-mix shard-clean,shard-lossy,shard-crash \
+		-torture-variants binsearch -artifact-dir artifacts
+
+# Regenerate BENCH_shard.json: the fixed-total-load sharded scaling pass
+# (128 nodes, aggregate mean gap 10) at 1/2/4/8 shards, plus the 1-shard
+# byte-parity gate against the unsharded driver (tables_identical).
+bench-shard: build
+	$(GO) run ./cmd/tokensim -shards 8 -requests 20000 -benchjson BENCH_shard.json
+
 # Live TCP smoke: boot three ringnode processes on loopback, each taking
 # the distributed lock once and publishing one totally ordered message,
 # then exit cleanly. Exercises the real transport end to end — the same
@@ -99,6 +115,7 @@ fuzz:
 	$(GO) test -run XXX -fuzz FuzzEventHeap -fuzztime 10s ./internal/sim/
 	$(GO) test -run XXX -fuzz FuzzTimingWheel -fuzztime 10s ./internal/sim/
 	$(GO) test -run XXX -fuzz FuzzPromEncoder -fuzztime 10s ./internal/telemetry/
+	$(GO) test -run XXX -fuzz FuzzShardRouter -fuzztime 10s ./internal/shard/
 
 check: build vet test race
 

@@ -72,6 +72,7 @@ func run(args []string) error {
 		timeout = fs.Duration("timeout", 60*time.Second, "per-operation timeout")
 		observe = fs.Bool("observe", false, "log every protocol step and fault to stderr")
 		metrics = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this host:port (:0 picks a free port)")
+		shardID = fs.Int("shard", -1, "shard id label for metrics and traces when this ring is one shard of a sharded deployment (-1 = unsharded)")
 		faultsJ = fs.String("faults", "", "fault plan as JSON (e.g. '{\"seed\":7,\"drop_cheap\":0.2}'); pauses are simulation-only")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -95,6 +96,9 @@ func run(args []string) error {
 	}
 	if *metrics != "" {
 		opts = append(opts, core.WithMetricsAddr(*metrics))
+	}
+	if *shardID >= 0 {
+		opts = append(opts, core.WithShard(*shardID))
 	}
 
 	ln, err := core.NewLiveNode(*id, addrs, *id == 0, opts...)

@@ -17,6 +17,7 @@
 //	tokensim -exp fig9 -paper -baseline -big -benchjson BENCH_wheel.json
 //	                                  # timing-wheel record + N=1e5 scaling pass
 //	tokensim -exp fig9 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	tokensim -shards 8                # sharded scaling pass -> BENCH_shard.json
 //	tokensim -trace out.json           # traced fig9-style run -> Perfetto JSON
 //	tokensim -trace out.json -benchjson rec.json
 //	                                  # attach the timeline series to the record
@@ -107,6 +108,7 @@ func run(args []string, out io.Writer) error {
 		big        = fs.Bool("big", false, "with -baseline: append a fig9big scaling pass (N to 1e5) to the record")
 		nodes      = fs.Int("nodes", 0, "override the largest ring of the fig9big sweep (0 = 100000)")
 		scheduler  = fs.String("scheduler", "wheel", "event scheduler: wheel (timing wheel) or heap (reference)")
+		shards     = fs.Int("shards", 0, "run the sharded scaling pass up to this many shards (power of two) and write BENCH_shard.json")
 		benchjson  = fs.String("benchjson", "", "write a machine-readable benchmark record (JSON) to this file")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file")
@@ -191,6 +193,10 @@ func run(args []string, out io.Writer) error {
 
 	if *trace != "" {
 		return runTrace(*trace, opts, *benchjson, out)
+	}
+
+	if *shards > 0 {
+		return runShards(*shards, opts, *benchjson, out)
 	}
 
 	if *baseline {

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"adaptivetoken/internal/bench"
+)
+
+// shardPhase is one measured point of the sharded scaling pass: the same
+// aggregate load served by K independent rings.
+type shardPhase struct {
+	Shards       int     `json:"shards"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	SimEvents    int     `json:"sim_events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Grants       int     `json:"grants"`
+	Issued       int     `json:"issued"`
+	RespMean     float64 `json:"resp_mean"`
+	RespP99      float64 `json:"resp_p99"`
+	MsgsPerGrant float64 `json:"msgs_per_grant"`
+}
+
+// shardRecord is the BENCH_shard.json artifact: the scaling phases plus
+// the 1-shard parity gate. TablesIdentical asserts that the K=1 run is
+// byte-for-byte the plain unsharded driver run — the same invariant
+// BENCH_wheel.json's table check rests on, so the two records describe the
+// same baseline.
+type shardRecord struct {
+	Experiment      string       `json:"experiment"`
+	Seed            uint64       `json:"seed"`
+	Requests        int          `json:"requests"`
+	TotalNodes      int          `json:"total_nodes"`
+	MeanGap         float64      `json:"mean_gap"`
+	GOMAXPROCS      int          `json:"gomaxprocs"`
+	Scheduler       string       `json:"scheduler"`
+	Phases          []shardPhase `json:"phases"`
+	TablesIdentical bool         `json:"tables_identical"`
+}
+
+// runShards executes the -shards pass: the fixed aggregate load of the
+// fig9shard experiment served by 1, 2, 4, ... maxShards rings, each count
+// timed separately, then the 1-shard parity check against the unsharded
+// driver. The record lands in -benchjson (default BENCH_shard.json).
+func runShards(maxShards int, opts bench.Options, jsonPath string, out io.Writer) error {
+	totalNodes, meanGap := bench.ShardDefaults()
+	if maxShards&(maxShards-1) != 0 || maxShards > totalNodes {
+		return fmt.Errorf("-shards must be a power of two ≤ %d, got %d", totalNodes, maxShards)
+	}
+
+	rec := shardRecord{
+		Experiment: "fig9shard",
+		Seed:       opts.Seed,
+		Requests:   opts.Requests,
+		TotalNodes: totalNodes,
+		MeanGap:    meanGap,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scheduler:  opts.Scheduler.String(),
+	}
+	fmt.Fprintf(out, "sharded scaling: %d nodes total, aggregate mean gap %g, %d requests\n",
+		totalNodes, meanGap, opts.Requests)
+	for k := 1; k <= maxShards; k *= 2 {
+		popts := opts
+		var stats bench.RunStats
+		popts.Stats = &stats
+		start := time.Now()
+		res, err := bench.RunSharded(popts, k, totalNodes, meanGap)
+		if err != nil {
+			return fmt.Errorf("shards=%d: %w", k, err)
+		}
+		wall := time.Since(start)
+		grants := res.Grants
+		if grants == 0 {
+			grants = 1
+		}
+		ph := shardPhase{
+			Shards:       k,
+			WallSeconds:  wall.Seconds(),
+			SimEvents:    res.SimEvents,
+			Grants:       res.Grants,
+			Issued:       res.Issued,
+			RespMean:     res.Resp.Mean,
+			RespP99:      res.Resp.P99,
+			MsgsPerGrant: float64(res.TotalMessages) / float64(grants),
+		}
+		if wall > 0 {
+			ph.EventsPerSec = float64(res.SimEvents) / wall.Seconds()
+		}
+		rec.Phases = append(rec.Phases, ph)
+		fmt.Fprintf(out, "  shards=%-2d wall %.3fs  %8.0f events/sec  resp mean %.2f p99 %.2f  msgs/grant %.2f\n",
+			k, ph.WallSeconds, ph.EventsPerSec, ph.RespMean, ph.RespP99, ph.MsgsPerGrant)
+	}
+
+	identical, err := bench.ShardParity(opts, totalNodes, meanGap)
+	if err != nil {
+		return fmt.Errorf("shard parity: %w", err)
+	}
+	rec.TablesIdentical = identical
+
+	if jsonPath == "" {
+		jsonPath = "BENCH_shard.json"
+	}
+	if err := writeJSON(jsonPath, rec); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "shards: 1-shard run vs unsharded driver: %s -> %s\n", identicalWord(identical), jsonPath)
+	if !identical {
+		return fmt.Errorf("1-shard run diverges from the unsharded driver")
+	}
+	return nil
+}

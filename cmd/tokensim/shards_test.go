@@ -1,0 +1,46 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunShards(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.json")
+	var sb strings.Builder
+	if err := run([]string{"-shards", "4", "-requests", "400", "-benchjson", path}, &sb); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, sb.String())
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec shardRecord
+	if err := json.Unmarshal(blob, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if !rec.TablesIdentical {
+		t.Fatal("1-shard parity gate failed")
+	}
+	if len(rec.Phases) != 3 { // shards 1, 2, 4
+		t.Fatalf("phases: %+v", rec.Phases)
+	}
+	for i, ph := range rec.Phases {
+		if ph.Shards != 1<<i || ph.Grants == 0 || ph.SimEvents == 0 {
+			t.Errorf("phase %d: %+v", i, ph)
+		}
+	}
+	if !strings.Contains(sb.String(), "tables identical") {
+		t.Errorf("output:\n%s", sb.String())
+	}
+}
+
+func TestRunShardsRejectsNonPowerOfTwo(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-shards", "3"}, &sb); err == nil {
+		t.Fatal("want error for -shards 3")
+	}
+}

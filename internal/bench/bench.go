@@ -840,6 +840,7 @@ func All(opts Options) (map[string]Table, error) {
 		{"tails", TailLatency},
 		{"resptails", ResponsivenessTails},
 		{"msgcost", MessageCost},
+		{"fig9shard", Figure9Shard},
 	}
 	out := make(map[string]Table, len(runs))
 	for _, r := range runs {
@@ -883,6 +884,8 @@ func Lookup(id string) (func(Options) (Table, error), bool) {
 		return ResponsivenessTails, true
 	case "msgcost":
 		return MessageCost, true
+	case "fig9shard":
+		return Figure9Shard, true
 	default:
 		return nil, false
 	}
@@ -892,5 +895,5 @@ func Lookup(id string) (func(Options) (Table, error), bool) {
 // via Lookup) but deliberately not part of All(): its N=10⁵ point is a
 // heavyweight scaling run, invoked explicitly.
 func IDs() []string {
-	return []string{"fig9", "fig9big", "fig10", "directed", "trapgc", "speed", "push", "throttle", "fairness", "saturation", "jitter", "tails", "resptails", "msgcost"}
+	return []string{"fig9", "fig9big", "fig9shard", "fig10", "directed", "trapgc", "speed", "push", "throttle", "fairness", "saturation", "jitter", "tails", "resptails", "msgcost"}
 }

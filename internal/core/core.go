@@ -16,6 +16,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"adaptivetoken/internal/faults"
@@ -39,6 +40,7 @@ type settings struct {
 	plan        faults.Plan
 	observer    host.Observer
 	metricsAddr string
+	shard       int
 }
 
 // WithVariant selects the protocol variant (default BinarySearch).
@@ -105,6 +107,15 @@ func WithObserver(o host.Observer) Option {
 	return func(s *settings) { s.observer = o }
 }
 
+// WithShard marks this cluster or node as shard k of a sharded deployment:
+// every series its /metrics endpoint exports carries a shard="k" label, so
+// one scrape configuration covers all rings and dashboards can filter or
+// aggregate by shard. Protocol behavior is unchanged — shards are
+// independent rings; only the observability output is tagged.
+func WithShard(k int) Option {
+	return func(s *settings) { s.shard = k + 1 }
+}
+
 // WithMetricsAddr starts a live observability endpoint on addr (host:port;
 // a :0 port picks a free one) serving Prometheus text on /metrics, a
 // liveness probe on /healthz, and the Go profiling handlers under
@@ -113,6 +124,16 @@ func WithObserver(o host.Observer) Option {
 // the cluster or node. The actual address is available via MetricsAddr.
 func WithMetricsAddr(addr string) Option {
 	return func(s *settings) { s.metricsAddr = addr }
+}
+
+// shardLabel renders the shard mark for the metrics exporter (empty when
+// WithShard was not used; shard is stored off by one so the zero settings
+// value means unsharded).
+func (s settings) shardLabel() string {
+	if s.shard == 0 {
+		return ""
+	}
+	return strconv.Itoa(s.shard - 1)
 }
 
 // Cluster is an in-process ring of live nodes over a channel network —
@@ -197,7 +218,7 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 	}
 	c.runtimes[0].Bootstrap()
 	if s.metricsAddr != "" {
-		exp := &telemetry.Exporter{Tracer: tracer, Messages: c.msgCounts, Node: -1}
+		exp := &telemetry.Exporter{Tracer: tracer, Messages: c.msgCounts, Node: -1, Shard: s.shardLabel()}
 		srv, err := telemetry.NewServer(s.metricsAddr, exp.WriteMetrics)
 		if err != nil {
 			c.Close()
@@ -395,7 +416,7 @@ func NewLiveNode(id int, addrs []string, bootstrap bool, opts ...Option) (*LiveN
 		rt.Bootstrap()
 	}
 	if s.metricsAddr != "" {
-		exp := &telemetry.Exporter{Tracer: tracer, Messages: rt.MsgStatsSorted, Node: id}
+		exp := &telemetry.Exporter{Tracer: tracer, Messages: rt.MsgStatsSorted, Node: id, Shard: s.shardLabel()}
 		srv, err := telemetry.NewServer(s.metricsAddr, exp.WriteMetrics)
 		if err != nil {
 			ln.Close()

@@ -26,8 +26,19 @@ type Node struct {
 	pending bool
 	reqSeq  uint64
 
-	// Trap table, FIFO.
-	traps []trapEntry
+	// Trap table, FIFO: the live entries are traps[trapHead:], oldest
+	// first. Pops advance the head cursor instead of shifting, and trapAt
+	// indexes live entries by requester (absolute slice index) so the
+	// per-search-hop dedup is O(1) instead of a table scan — the post-PR-6
+	// profile had that scan at ~49% of fig9 CPU (see DESIGN.md §10,
+	// "Follow-up: the O(1) trap path").
+	traps    []trapEntry
+	trapHead int
+	trapAt   trapIndex
+	// agedSeen is the lastSeen value ageTraps last swept at: no trap can
+	// expire until the token round advances, so sweeps in between are
+	// skipped.
+	agedSeen uint64
 
 	// Timer generations.
 	holdGen uint64
@@ -77,6 +88,60 @@ type trapEntry struct {
 	bornRound uint64 // freshest circulation round known when set (aging GC)
 }
 
+// trapIndex maps a requester id to its absolute index in Node.traps.
+// Normal rings get a dense array — the per-hop lookups on the search path
+// are then pure indexing — while huge rings (the fig9big 10^5-node sweeps)
+// fall back to a map so per-node memory stays proportional to the traps
+// actually stored. Allocated lazily on the first stored trap.
+type trapIndex struct {
+	dense  []int32 // requester -> index+1; 0 = absent
+	sparse map[int]int
+}
+
+// denseTrapIndex is the largest ring size indexed with a dense array
+// (16 KiB per trap-bearing node).
+const denseTrapIndex = 4096
+
+func (x *trapIndex) ready() bool { return x.dense != nil || x.sparse != nil }
+
+func (x *trapIndex) init(n int) {
+	if n <= denseTrapIndex {
+		x.dense = make([]int32, n)
+	} else {
+		x.sparse = make(map[int]int)
+	}
+}
+
+func (x *trapIndex) get(requester int) (int, bool) {
+	if x.dense != nil {
+		if requester < 0 || requester >= len(x.dense) {
+			return 0, false
+		}
+		v := x.dense[requester]
+		return int(v) - 1, v != 0
+	}
+	i, ok := x.sparse[requester]
+	return i, ok
+}
+
+func (x *trapIndex) set(requester, i int) {
+	if x.dense != nil {
+		x.dense[requester] = int32(i) + 1
+		return
+	}
+	x.sparse[requester] = i
+}
+
+func (x *trapIndex) del(requester int) {
+	if x.dense != nil {
+		if requester >= 0 && requester < len(x.dense) {
+			x.dense[requester] = 0
+		}
+		return
+	}
+	delete(x.sparse, requester)
+}
+
 // New returns a node with the given ring position.
 func New(id int, cfg Config) (*Node, error) {
 	if err := cfg.Validate(); err != nil {
@@ -118,7 +183,7 @@ func (n *Node) Round() uint64 { return n.round }
 func (n *Node) LastSeen() uint64 { return n.lastSeen }
 
 // TrapCount returns the number of stored traps.
-func (n *Node) TrapCount() int { return len(n.traps) }
+func (n *Node) TrapCount() int { return len(n.traps) - n.trapHead }
 
 // Epoch returns the token epoch as known to this node.
 func (n *Node) Epoch() uint64 { return n.epoch }
@@ -132,7 +197,7 @@ func (n *Node) RecoveryActive() bool { return n.recovery.active }
 
 // TrapRequesters appends the requester ids of the stored traps, FIFO.
 func (n *Node) TrapRequesters(dst []int) []int {
-	for _, tr := range n.traps {
+	for _, tr := range n.traps[n.trapHead:] {
 		dst = append(dst, tr.requester)
 	}
 	return dst
@@ -166,7 +231,7 @@ func (n *Node) Stats() Stats {
 		Round:    n.round,
 		LastSeen: n.lastSeen,
 		Epoch:    n.epoch,
-		Traps:    len(n.traps),
+		Traps:    n.TrapCount(),
 		Served:   len(n.served),
 	}
 }
@@ -557,19 +622,21 @@ func (n *Node) addTrap(requester int, reqSeq uint64, from int, stamp uint64) boo
 	if requester == n.id {
 		return false
 	}
-	for i := range n.traps {
-		if n.traps[i].requester == requester {
-			if reqSeq > n.traps[i].reqSeq {
-				n.traps[i].reqSeq = reqSeq
-				n.traps[i].from = from
-				n.traps[i].bornRound = n.freshRound(stamp)
-			}
-			return true
+	if i, ok := n.trapAt.get(requester); ok {
+		if reqSeq > n.traps[i].reqSeq {
+			n.traps[i].reqSeq = reqSeq
+			n.traps[i].from = from
+			n.traps[i].bornRound = n.freshRound(stamp)
 		}
+		return true
 	}
-	if n.cfg.MaxTraps > 0 && len(n.traps) >= n.cfg.MaxTraps {
+	if n.cfg.MaxTraps > 0 && n.TrapCount() >= n.cfg.MaxTraps {
 		return false
 	}
+	if !n.trapAt.ready() {
+		n.trapAt.init(n.cfg.N)
+	}
+	n.trapAt.set(requester, len(n.traps))
 	n.traps = append(n.traps, trapEntry{
 		requester: requester,
 		reqSeq:    reqSeq,
@@ -592,9 +659,15 @@ func (n *Node) freshRound(stamp uint64) uint64 {
 // discarding) traps whose request the satisfaction record shows complete.
 func (n *Node) popTrap() (trapEntry, bool) {
 	n.ageTraps()
-	for len(n.traps) > 0 {
-		tr := n.traps[0]
-		n.traps = append(n.traps[:0], n.traps[1:]...)
+	n.compactTraps()
+	for n.trapHead < len(n.traps) {
+		tr := n.traps[n.trapHead]
+		n.trapAt.del(tr.requester)
+		n.trapHead++
+		if n.trapHead == len(n.traps) {
+			n.traps = n.traps[:0]
+			n.trapHead = 0
+		}
 		if n.cfg.TrapGC == GCRotation && n.isServed(tr) {
 			continue
 		}
@@ -603,32 +676,77 @@ func (n *Node) popTrap() (trapEntry, bool) {
 	return trapEntry{}, false
 }
 
-// removeTrap removes the trap for requester, if present.
-func (n *Node) removeTrap(requester int) (trapEntry, bool) {
-	for i := range n.traps {
-		if n.traps[i].requester == requester {
-			tr := n.traps[i]
-			n.traps = append(n.traps[:i], n.traps[i+1:]...)
-			return tr, true
-		}
-	}
-	return trapEntry{}, false
-}
-
-// ageTraps drops traps older than the TTL under rotation GC.
-func (n *Node) ageTraps() {
-	if n.cfg.TrapGC != GCRotation {
+// compactTraps reclaims the popped prefix once it dominates the slice, so
+// the head cursor cannot strand unbounded capacity behind it.
+func (n *Node) compactTraps() {
+	if n.trapHead < 32 || n.trapHead < len(n.traps)-n.trapHead {
 		return
 	}
+	live := copy(n.traps, n.traps[n.trapHead:])
+	n.traps = n.traps[:live]
+	n.trapHead = 0
+	for i := range n.traps {
+		n.trapAt.set(n.traps[i].requester, i)
+	}
+}
+
+// removeTrap removes the trap for requester, if present.
+func (n *Node) removeTrap(requester int) (trapEntry, bool) {
+	i, ok := n.trapAt.get(requester)
+	if !ok {
+		return trapEntry{}, false
+	}
+	tr := n.traps[i]
+	n.trapAt.del(requester)
+	copy(n.traps[i:], n.traps[i+1:])
+	n.traps = n.traps[:len(n.traps)-1]
+	for j := i; j < len(n.traps); j++ {
+		n.trapAt.set(n.traps[j].requester, j)
+	}
+	return tr, true
+}
+
+// ageTraps drops traps older than the TTL under rotation GC. Expiry depends
+// only on lastSeen, which new and refreshed traps are always younger than,
+// so the sweep runs at most once per circulation-stamp advance.
+func (n *Node) ageTraps() {
+	if n.cfg.TrapGC != GCRotation || n.agedSeen == n.lastSeen {
+		return
+	}
+	n.agedSeen = n.lastSeen
 	ttl := uint64(n.cfg.TrapTTLRounds)
 	if ttl == 0 {
 		ttl = uint64(2 * n.cfg.N)
 	}
+	expired := false
+	for _, tr := range n.traps[n.trapHead:] {
+		if n.lastSeen >= tr.bornRound+ttl {
+			expired = true
+			break
+		}
+	}
+	if !expired {
+		return
+	}
+	n.sweepTraps(func(tr trapEntry) bool {
+		return n.lastSeen < tr.bornRound+ttl
+	})
+}
+
+// sweepTraps compacts the live trap range down to the entries keep accepts,
+// preserving FIFO order, and rebuilds the requester index.
+func (n *Node) sweepTraps(keep func(trapEntry) bool) {
 	live := n.traps[:0]
-	for _, tr := range n.traps {
-		if n.lastSeen < tr.bornRound+ttl {
+	for _, tr := range n.traps[n.trapHead:] {
+		if keep(tr) {
 			live = append(live, tr)
+		} else {
+			n.trapAt.del(tr.requester)
 		}
 	}
 	n.traps = live
+	n.trapHead = 0
+	for i := range n.traps {
+		n.trapAt.set(n.traps[i].requester, i)
+	}
 }

@@ -62,24 +62,35 @@ func (n *Node) recordServed(requester int, reqSeq uint64) {
 
 // adoptServed takes over the token's satisfaction record (aliasing the
 // message's buffer — see the hand-off protocol above) and sweeps satisfied
-// traps.
+// traps. The sweep is driven by the record, not the trap table: each rec
+// looks its requester up in the O(1) trap index, so a hop with nothing to
+// drop costs O(len(recs)) instead of O(traps × recs) — the old nested scan
+// was ~20% of fig9 CPU post-PR-6 (see DESIGN.md §12).
 func (n *Node) adoptServed(recs []ServedRec) {
 	if n.cfg.TrapGC != GCRotation {
 		return
 	}
 	n.served = recs
 	n.servedShared = len(recs) > 0
-	if len(n.traps) == 0 {
+	if n.trapHead == len(n.traps) {
 		return
 	}
-	live := n.traps[:0]
-	for _, tr := range n.traps {
-		if !n.isServed(tr) {
-			live = append(live, tr)
+	dropped := false
+	for _, rec := range recs {
+		if i, ok := n.trapAt.get(rec.Requester); ok && rec.ReqSeq >= n.traps[i].reqSeq {
+			n.traps[i].requester = trapServed
+			n.trapAt.del(rec.Requester)
+			dropped = true
 		}
 	}
-	n.traps = live
+	if dropped {
+		n.sweepTraps(func(tr trapEntry) bool { return tr.requester != trapServed })
+	}
 }
+
+// trapServed marks a trap entry dropped by the adoptServed sweep; it never
+// collides with a requester id (>= 0) or None.
+const trapServed = -2
 
 // isServed reports whether a trap's request already completed according to
 // the satisfaction record.

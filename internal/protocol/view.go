@@ -57,13 +57,7 @@ func (n *Node) ApplyViewInto(now Time, u ViewUpdate, e *Effects) {
 
 	// Departed members can never use a grant or accept a return: drop
 	// their traps and forget a return address pointing at them.
-	live := n.traps[:0]
-	for _, tr := range n.traps {
-		if n.member(tr.requester) {
-			live = append(live, tr)
-		}
-	}
-	n.traps = live
+	n.sweepTraps(func(tr trapEntry) bool { return n.member(tr.requester) })
 	if n.returnTo != None && !n.member(n.returnTo) {
 		n.returnTo = None
 	}

@@ -1,0 +1,119 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"adaptivetoken/internal/mutex"
+	"adaptivetoken/internal/tobcast"
+)
+
+// Ring is the live face of one shard for cross-shard coordination: the
+// mutexes and total-order broadcasters of its members. core.Cluster
+// satisfies it directly; a set of core.LiveNode handles can be adapted the
+// same way.
+type Ring interface {
+	// Mutex returns member i's handle on the shard's token mutex.
+	Mutex(i int) *mutex.Mutex
+	// Broadcaster returns member i's handle on the shard's total-order
+	// broadcast.
+	Broadcaster(i int) *tobcast.Broadcaster
+	// N returns the shard's member count.
+	N() int
+}
+
+// Coordinator executes operations that span shards. Single-shard
+// operations never touch it — they go straight to the owning ring's mutex,
+// which is the whole point of sharding. For the rare multi-shard
+// operation, the coordinator:
+//
+//  1. announces the intent on the lowest involved shard's total-order
+//     broadcast, so cross-shard operations have one auditable serial
+//     order even though they span rings;
+//  2. acquires the involved shards' tokens in ascending shard order —
+//     a global lock order, so two coordinators contending for
+//     overlapping shard sets cannot deadlock;
+//  3. runs the operation while every involved token is held, then
+//     releases in descending order.
+type Coordinator struct {
+	router *Router
+	rings  []Ring
+	agent  int // the member each ring is driven through
+}
+
+// NewCoordinator builds a coordinator that drives each ring through member
+// agent (use 0 for the bootstrap member).
+func NewCoordinator(router *Router, rings []Ring, agent int) (*Coordinator, error) {
+	if len(rings) != router.Shards() {
+		return nil, fmt.Errorf("shard: %d rings for %d shards", len(rings), router.Shards())
+	}
+	for k, rg := range rings {
+		if rg == nil || agent < 0 || agent >= rg.N() {
+			return nil, fmt.Errorf("shard: ring %d has no member %d", k, agent)
+		}
+	}
+	return &Coordinator{router: router, rings: rings, agent: agent}, nil
+}
+
+// Involved returns the distinct shards the keys route to, ascending —
+// the coordinator's lock order.
+func (c *Coordinator) Involved(keys []uint64) []int {
+	seen := make(map[int]bool, len(keys))
+	var out []int
+	for _, key := range keys {
+		if s := c.router.Route(key); !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Do runs fn on a single key's shard while holding that shard's token.
+func (c *Coordinator) Do(ctx context.Context, key uint64, fn func(shard int) error) error {
+	s := c.router.Route(key)
+	return c.rings[s].Mutex(c.agent).Do(ctx, func() error { return fn(s) })
+}
+
+// CrossAcquire runs fn while holding the token of every shard the keys
+// route to. The involved set is announced on the lowest involved shard's
+// broadcast first, then locked in ascending order (see the type comment
+// for why that is deadlock-free). fn receives the involved shards.
+func (c *Coordinator) CrossAcquire(ctx context.Context, keys []uint64, fn func(shards []int) error) error {
+	involved := c.Involved(keys)
+	if len(involved) == 0 {
+		return fmt.Errorf("shard: cross-shard operation with no keys")
+	}
+	home := involved[0]
+	if _, err := c.rings[home].Broadcaster(c.agent).Publish(ctx, crossMarker(involved)); err != nil {
+		return fmt.Errorf("shard: announcing cross-shard op: %w", err)
+	}
+	locked := make([]int, 0, len(involved))
+	unlock := func() {
+		for i := len(locked) - 1; i >= 0; i-- {
+			_ = c.rings[locked[i]].Mutex(c.agent).Unlock()
+		}
+	}
+	for _, s := range involved {
+		if err := c.rings[s].Mutex(c.agent).Lock(ctx); err != nil {
+			unlock()
+			return fmt.Errorf("shard: locking shard %d: %w", s, err)
+		}
+		locked = append(locked, s)
+	}
+	err := fn(involved)
+	unlock()
+	return err
+}
+
+// crossMarker encodes a cross-shard intent for the broadcast audit log.
+func crossMarker(shards []int) string {
+	parts := make([]string, len(shards))
+	for i, s := range shards {
+		parts[i] = fmt.Sprint(s)
+	}
+	return "xshard:" + strings.Join(parts, ",")
+}

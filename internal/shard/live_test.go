@@ -1,0 +1,117 @@
+package shard
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adaptivetoken/internal/core"
+	"adaptivetoken/internal/tobcast"
+)
+
+// TestTwoShardLiveCoordinator is the 2-shard loopback smoke: two real
+// core.Clusters (channel transport, live runtimes) behind a router, with
+// single-shard operations going straight to the owning ring's mutex and a
+// cross-shard operation holding both tokens after announcing itself on the
+// home shard's total-order broadcast.
+func TestTwoShardLiveCoordinator(t *testing.T) {
+	const shards, nodes = 2, 3
+	router, err := NewRouter(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rings := make([]Ring, shards)
+	for k := 0; k < shards; k++ {
+		c, err := core.NewCluster(nodes,
+			core.WithSeed(ShardSeed(1, k)),
+			core.WithTimeUnit(100*time.Microsecond),
+			core.WithShard(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		rings[k] = c
+	}
+	coord, err := NewCoordinator(router, rings, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Find keys landing on each shard.
+	keyOn := make([]uint64, shards)
+	seen := make([]bool, shards)
+	for key, found := uint64(1), 0; found < shards; key++ {
+		if key > 1<<20 {
+			t.Fatal("no key found for some shard")
+		}
+		if s := router.Route(key); !seen[s] {
+			seen[s], keyOn[s] = true, key
+			found++
+		}
+	}
+
+	// Single-shard operations: each runs under its own shard's token only.
+	for s := 0; s < shards; s++ {
+		ran := false
+		if err := coord.Do(ctx, keyOn[s], func(got int) error {
+			ran = true
+			if got != s {
+				t.Errorf("key %d ran on shard %d, want %d", keyOn[s], got, s)
+			}
+			if !rings[s].Mutex(0).Held() {
+				t.Errorf("shard %d token not held during Do", s)
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("Do on shard %d: %v", s, err)
+		}
+		if !ran {
+			t.Fatalf("Do on shard %d never ran fn", s)
+		}
+	}
+
+	// Cross-shard operation: must hold both tokens at once, and announce
+	// itself in the home shard's total order first.
+	var announced atomic.Int32
+	rings[0].Broadcaster(1).Subscribe(func(e tobcast.Entry) {
+		if e.Payload == "xshard:0,1" {
+			announced.Add(1)
+		}
+	})
+	keys := []uint64{keyOn[0], keyOn[1]}
+	if got := coord.Involved(keys); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("Involved = %v", got)
+	}
+	ran := false
+	if err := coord.CrossAcquire(ctx, keys, func(involved []int) error {
+		ran = true
+		for _, s := range involved {
+			if !rings[s].Mutex(0).Held() {
+				t.Errorf("shard %d token not held during CrossAcquire", s)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("CrossAcquire never ran fn")
+	}
+	for s := 0; s < shards; s++ {
+		if rings[s].Mutex(0).Held() {
+			t.Fatalf("shard %d token still held after CrossAcquire", s)
+		}
+	}
+
+	// The announcement reaches every member of the home shard.
+	deadline := time.Now().Add(30 * time.Second)
+	for announced.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if announced.Load() == 0 {
+		t.Fatal("cross-shard announcement never delivered on home shard")
+	}
+}

@@ -1,0 +1,165 @@
+package shard
+
+import (
+	"testing"
+)
+
+func TestRouterAllKeysRoute(t *testing.T) {
+	r, err := NewRouter(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key := uint64(0); key < 10_000; key++ {
+		s := r.Route(key)
+		if s < 0 || s >= 8 {
+			t.Fatalf("key %d routed to %d", key, s)
+		}
+		if r.Route(key) != s {
+			t.Fatalf("key %d not routed deterministically", key)
+		}
+	}
+}
+
+func TestRouterBalance(t *testing.T) {
+	r, err := NewRouter(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 8)
+	const keys = 100_000
+	for key := uint64(0); key < keys; key++ {
+		counts[r.Route(key)]++
+	}
+	for s, c := range counts {
+		frac := float64(c) / keys
+		if frac < 0.5/8 || frac > 2.0/8 {
+			t.Fatalf("shard %d owns %.1f%% of keys (counts %v)", s, 100*frac, counts)
+		}
+	}
+}
+
+func TestRouterViewChange(t *testing.T) {
+	r, err := NewRouter(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetView([]int{0, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	for key := uint64(0); key < 5_000; key++ {
+		if s := r.Route(key); s == 1 {
+			t.Fatalf("key %d routed to dead shard 1", key)
+		}
+	}
+	if got := r.Live(); len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("live = %v", got)
+	}
+}
+
+func TestRouterMinimalDisruption(t *testing.T) {
+	// Rendezvous property: removing shard 1 must not move any key that was
+	// already owned by a surviving shard.
+	r, err := NewRouter(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]int, r.Slots())
+	for s := range before {
+		before[s] = int(r.table[s])
+	}
+	if err := r.SetView([]int{0, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	for s, old := range before {
+		now := int(r.table[s])
+		if old != 1 && now != old {
+			t.Fatalf("slot %d moved %d -> %d though %d survived", s, old, now, old)
+		}
+		if old == 1 && now == 1 {
+			t.Fatalf("slot %d still owned by dead shard 1", s)
+		}
+	}
+}
+
+func TestRouterRejects(t *testing.T) {
+	if _, err := NewRouter(0); err == nil {
+		t.Fatal("0 shards accepted")
+	}
+	if _, err := NewRouterSlots(4, 100); err == nil {
+		t.Fatal("non-power-of-two slots accepted")
+	}
+	if _, err := NewRouterSlots(16, 8); err == nil {
+		t.Fatal("slots < shards accepted")
+	}
+	r, _ := NewRouter(4)
+	if err := r.SetView(nil); err == nil {
+		t.Fatal("empty view accepted")
+	}
+	if err := r.SetView([]int{5}); err == nil {
+		t.Fatal("out-of-range member accepted")
+	}
+}
+
+// FuzzShardRouter drives the router with arbitrary key sets and view
+// changes and checks: every key routes to exactly one live shard, the
+// precomputed table matches the brute-force rendezvous hash at every slot,
+// and shrinking the view never moves a key owned by a survivor.
+func FuzzShardRouter(f *testing.F) {
+	f.Add(uint8(4), uint16(0b1011), uint64(12345))
+	f.Add(uint8(1), uint16(1), uint64(0))
+	f.Add(uint8(12), uint16(0xffff), uint64(1<<63))
+	f.Fuzz(func(t *testing.T, nshards uint8, viewBits uint16, keySeed uint64) {
+		shards := int(nshards)%12 + 1
+		r, err := NewRouterSlots(shards, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Derive a live view from the fuzzed bitmask, forcing at least
+		// one member so the view is legal.
+		var live []int
+		for s := 0; s < shards; s++ {
+			if viewBits&(1<<s) != 0 {
+				live = append(live, s)
+			}
+		}
+		if len(live) == 0 {
+			live = []int{int(keySeed % uint64(shards))}
+		}
+
+		fullTable := append([]int32(nil), r.table...)
+		if err := r.SetView(live); err != nil {
+			t.Fatal(err)
+		}
+
+		isLive := make(map[int]bool, len(live))
+		for _, s := range live {
+			isLive[s] = true
+		}
+
+		// Table matches the brute-force hash at every slot, and the
+		// minimal-disruption property holds against the full view.
+		for slot := range r.table {
+			want := owner(slot, live)
+			if got := int(r.table[slot]); got != want {
+				t.Fatalf("slot %d: table %d, brute force %d (view %v)", slot, got, want, live)
+			}
+			if old := int(fullTable[slot]); isLive[old] && int(r.table[slot]) != old {
+				t.Fatalf("slot %d moved %d -> %d though %d survived", slot, old, r.table[slot], old)
+			}
+		}
+
+		// Every key routes to exactly one live shard, deterministically.
+		key := keySeed
+		for i := 0; i < 64; i++ {
+			key = key*0x5851f42d4c957f2d + 0x14057b7ef767814f
+			s := r.Route(key)
+			if !isLive[s] {
+				t.Fatalf("key %#x routed to dead shard %d (view %v)", key, s, live)
+			}
+			if r.Route(key) != s {
+				t.Fatalf("key %#x routes nondeterministically", key)
+			}
+		}
+	})
+}

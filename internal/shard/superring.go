@@ -1,0 +1,45 @@
+package shard
+
+// SuperRing is the shard-leader "ring of rings": each shard's current
+// token holder doubles as the shard leader, and the K leaders circulate a
+// super-token of their own for operations that need a cluster-wide serial
+// point — shard splits/merges, router view changes agreed across shards,
+// cluster-wide snapshots.
+//
+// This PR stubs the interface only: the cross-shard path goes through
+// Coordinator (tobcast announcement + ascending-order token acquisition),
+// which is sufficient while the shard set is static. A circulating
+// super-token becomes necessary once SetView transitions are driven by
+// the shards themselves rather than by an operator; the stub pins down
+// the surface that work will fill in.
+type SuperRing interface {
+	// Leaders returns the current leader member of every shard, indexed
+	// by shard id (the shard's token holder, or -1 while in motion).
+	Leaders() []int
+	// Propose submits a cluster-wide operation (encoded as an opaque
+	// payload) into the super-ring's total order and returns its
+	// sequence number.
+	Propose(payload string) (uint64, error)
+}
+
+// StaticSuperRing is the degenerate SuperRing for a fixed shard set: no
+// super-token circulates; proposals are rejected. It exists so callers can
+// wire the interface today and swap in the circulating implementation
+// without an API change.
+type StaticSuperRing struct{}
+
+// Leaders reports no leaders — a static shard set has no circulating
+// super-token to track holders with.
+func (StaticSuperRing) Leaders() []int { return nil }
+
+// Propose always fails: cluster-wide operations on a static shard set go
+// through Coordinator.CrossAcquire instead.
+func (StaticSuperRing) Propose(string) (uint64, error) {
+	return 0, errStaticSuperRing
+}
+
+type superRingErr string
+
+func (e superRingErr) Error() string { return string(e) }
+
+const errStaticSuperRing = superRingErr("shard: static super-ring cannot propose; use Coordinator.CrossAcquire")

@@ -21,6 +21,11 @@ type Exporter struct {
 	// Node is this process's ring position, exported as a gauge label
 	// (use -1 for an aggregate endpoint covering a whole cluster).
 	Node int
+	// Shard, when non-empty, adds a shard="<Shard>" label to every series
+	// the exporter writes — the sharded layer's per-ring view. Several
+	// exporters with distinct Shard values can share one PromWriter; the
+	// writer deduplicates the HELP/TYPE headers.
+	Shard string
 	// Start anchors the uptime gauge; zero means "when the exporter was
 	// first scraped".
 	Start time.Time
@@ -32,45 +37,54 @@ func (e *Exporter) WriteMetrics(p *PromWriter) {
 	if e.Start.IsZero() {
 		e.Start = time.Now()
 	}
+	sl := e.shardLabel()
 	p.Gauge("adaptivetoken_node_info",
 		"Ring position of this process (value is always 1).",
-		1, Label{Key: "node", Value: nodeLabel(e.Node)})
+		1, append([]Label{{Key: "node", Value: nodeLabel(e.Node)}}, sl...)...)
 	p.Gauge("adaptivetoken_uptime_seconds",
 		"Seconds since this exporter started.",
-		time.Since(e.Start).Seconds())
+		time.Since(e.Start).Seconds(), sl...)
 
 	if e.Messages != nil {
 		p.CounterVec("adaptivetoken_messages_total",
 			"Protocol messages dispatched, by kind (includes the dropped/duplicated/delayed fault counters).",
-			CompleteKinds(e.Messages()), "kind")
+			CompleteKinds(e.Messages()), "kind", sl...)
 	}
 
 	if tr := e.Tracer; tr != nil {
 		st := tr.Stats()
 		p.Counter("adaptivetoken_grants_total",
-			"Token grants observed.", float64(st.Grants))
+			"Token grants observed.", float64(st.Grants), sl...)
 		p.Counter("adaptivetoken_requests_total",
-			"Issued (non-coalesced) token requests observed.", float64(st.Requests))
+			"Issued (non-coalesced) token requests observed.", float64(st.Requests), sl...)
 		p.Counter("adaptivetoken_faults_total",
-			"Injected faults observed.", float64(st.Faults))
+			"Injected faults observed.", float64(st.Faults), sl...)
 		p.Counter("adaptivetoken_trace_records_total",
-			"Trace records written to the ring buffer.", float64(st.Total))
+			"Trace records written to the ring buffer.", float64(st.Total), sl...)
 		p.Counter("adaptivetoken_trace_dropped_total",
-			"Trace records lost to ring wrap-around.", float64(st.Dropped))
+			"Trace records lost to ring wrap-around.", float64(st.Dropped), sl...)
 
 		resp := tr.RespHist()
 		p.Histogram("adaptivetoken_responsiveness_time_units",
-			"Definition 3 responsiveness intervals, in protocol time units.", &resp)
+			"Definition 3 responsiveness intervals, in protocol time units.", &resp, sl...)
 		wait := tr.WaitHist()
 		p.Histogram("adaptivetoken_wait_time_units",
-			"Request-to-grant waiting time, in protocol time units.", &wait)
+			"Request-to-grant waiting time, in protocol time units.", &wait, sl...)
 		hold := tr.HoldHist()
 		p.Histogram("adaptivetoken_token_hold_time_units",
-			"Token possession time per holder, in protocol time units.", &hold)
+			"Token possession time per holder, in protocol time units.", &hold, sl...)
 		hops := tr.HopsHist()
 		p.Histogram("adaptivetoken_token_forwards_per_grant",
-			"Token-bearing message deliveries between consecutive grants.", &hops)
+			"Token-bearing message deliveries between consecutive grants.", &hops, sl...)
 	}
+}
+
+// shardLabel returns the shard label set (empty when unsharded).
+func (e *Exporter) shardLabel() []Label {
+	if e.Shard == "" {
+		return nil
+	}
+	return []Label{{Key: "shard", Value: e.Shard}}
 }
 
 // CompleteKinds overlays counts onto the full fast-slot schema: the result

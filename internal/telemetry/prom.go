@@ -20,8 +20,9 @@ type Label struct {
 // Errors stick: after the first write error every call is a no-op and Err
 // returns it.
 type PromWriter struct {
-	w   *bufio.Writer
-	err error
+	w    *bufio.Writer
+	err  error
+	seen map[string]bool
 }
 
 // NewPromWriter wraps w.
@@ -43,10 +44,13 @@ func (p *PromWriter) Gauge(name, help string, v float64, labels ...Label) {
 
 // CounterVec writes one TYPE/HELP header followed by a sample per
 // (labels, value) pair — the per-kind message counters.
-func (p *PromWriter) CounterVec(name, help string, samples []metrics.KindCount, labelKey string) {
+func (p *PromWriter) CounterVec(name, help string, samples []metrics.KindCount, labelKey string, labels ...Label) {
 	p.header(name, help, "counter")
 	for _, kc := range samples {
-		p.sample(name, "", []Label{{Key: labelKey, Value: kc.Kind}}, float64(kc.Count))
+		ls := make([]Label, 0, len(labels)+1)
+		ls = append(ls, Label{Key: labelKey, Value: kc.Kind})
+		ls = append(ls, labels...)
+		p.sample(name, "", ls, float64(kc.Count))
 	}
 }
 
@@ -80,10 +84,20 @@ func (p *PromWriter) Flush() error {
 	return p.err
 }
 
+// header writes the HELP/TYPE preamble, once per metric name — a writer
+// fed by several exporters (one per shard) must not repeat it, because the
+// exposition format forbids duplicate HELP/TYPE lines.
 func (p *PromWriter) header(name, help, typ string) {
 	if p.err != nil {
 		return
 	}
+	if p.seen[name] {
+		return
+	}
+	if p.seen == nil {
+		p.seen = make(map[string]bool)
+	}
+	p.seen[name] = true
 	if help != "" {
 		p.writeString("# HELP " + name + " " + escapeHelp(help) + "\n")
 	}

@@ -1,0 +1,85 @@
+package telemetry
+
+import (
+	"strconv"
+	"time"
+
+	"adaptivetoken/internal/metrics"
+)
+
+// ShardSet renders a sharded cluster's observability state onto one
+// PromWriter: every series once per shard (shard="0", "1", ...) via the
+// per-shard exporters, then once aggregated under shard="all" — merged
+// histograms and summed counters — so dashboards get both the per-ring
+// and the cluster-wide view from a single scrape.
+type ShardSet struct {
+	// Tracers are the per-shard tracers, indexed by shard id; nil entries
+	// are skipped.
+	Tracers []*Tracer
+	// Messages returns shard k's per-kind dispatch counts. Optional.
+	Messages func(shard int) []metrics.KindCount
+	// Start anchors the uptime gauge; zero means first scrape.
+	Start time.Time
+}
+
+// WriteMetrics has the signature NewServer expects.
+func (s *ShardSet) WriteMetrics(p *PromWriter) {
+	if s.Start.IsZero() {
+		s.Start = time.Now()
+	}
+	for k, tr := range s.Tracers {
+		if tr == nil {
+			continue
+		}
+		e := &Exporter{
+			Tracer: tr,
+			Node:   -1,
+			Shard:  strconv.Itoa(k),
+			Start:  s.Start,
+		}
+		if s.Messages != nil {
+			shard := k
+			e.Messages = func() []metrics.KindCount { return s.Messages(shard) }
+		}
+		e.WriteMetrics(p)
+	}
+	s.writeAggregate(p)
+}
+
+// writeAggregate emits the shard="all" roll-up.
+func (s *ShardSet) writeAggregate(p *PromWriter) {
+	all := []Label{{Key: "shard", Value: "all"}}
+	var grants, requests, faults int64
+	var recTotal, recDropped uint64
+	var resp, wait, hold, hops metrics.Histogram
+	seen := false
+	for _, tr := range s.Tracers {
+		if tr == nil {
+			continue
+		}
+		seen = true
+		st := tr.Stats()
+		grants += st.Grants
+		requests += st.Requests
+		faults += st.Faults
+		recTotal += st.Total
+		recDropped += st.Dropped
+		r, w, h, f := tr.RespHist(), tr.WaitHist(), tr.HoldHist(), tr.HopsHist()
+		resp.Merge(&r)
+		wait.Merge(&w)
+		hold.Merge(&h)
+		hops.Merge(&f)
+	}
+	if !seen {
+		return
+	}
+	p.Counter("adaptivetoken_grants_total", "", float64(grants), all...)
+	p.Counter("adaptivetoken_requests_total", "", float64(requests), all...)
+	p.Counter("adaptivetoken_faults_total", "", float64(faults), all...)
+	p.Counter("adaptivetoken_trace_records_total", "", float64(recTotal), all...)
+	p.Counter("adaptivetoken_trace_dropped_total", "", float64(recDropped), all...)
+	p.Histogram("adaptivetoken_responsiveness_time_units", "", &resp, all...)
+	p.Histogram("adaptivetoken_wait_time_units", "", &wait, all...)
+	p.Histogram("adaptivetoken_token_hold_time_units", "", &hold, all...)
+	p.Histogram("adaptivetoken_token_forwards_per_grant", "", &hops, all...)
+}

@@ -10,9 +10,14 @@ import "adaptivetoken/internal/faults"
 // shrinker just keeps the subsets that still fail. The pause windows are
 // dropped wholesale at the end if the failure survives without them, and
 // membership (churn) events — time-keyed, so likewise independent — are
-// then minimized one at a time.
+// then minimized one at a time. Sharded failures shrink shard by shard
+// (shrinkSharded).
 func Shrink(f Failure) Failure {
+	if len(f.Shards) > 0 {
+		return shrinkSharded(f)
+	}
 	churn := f.Schedule.Churn
+	pauses := f.Schedule.Pauses
 	fails := func(actions []faults.Action, pauses []faults.Pause) (string, bool) {
 		sched := faults.Schedule{Actions: actions, Pauses: pauses, Churn: churn}
 		rep := Run(f.Scenario, &sched)
@@ -22,47 +27,11 @@ func Shrink(f Failure) Failure {
 		return "", false
 	}
 
-	actions := f.Schedule.Actions
-	pauses := f.Schedule.Pauses
-
-	// Fast path: the failure may not depend on the fault actions at all.
-	if msg, bad := fails(nil, pauses); bad {
-		actions = nil
+	actions, msg := ddminActions(f.Schedule.Actions, func(cand []faults.Action) (string, bool) {
+		return fails(cand, pauses)
+	})
+	if msg != "" {
 		f.Err = msg
-	}
-
-	// ddmin: remove complement chunks, halving granularity on progress.
-	n := 2
-	for len(actions) >= 2 && n <= len(actions) {
-		chunk := (len(actions) + n - 1) / n
-		reduced := false
-		for start := 0; start < len(actions); start += chunk {
-			end := start + chunk
-			if end > len(actions) {
-				end = len(actions)
-			}
-			cand := make([]faults.Action, 0, len(actions)-(end-start))
-			cand = append(cand, actions[:start]...)
-			cand = append(cand, actions[end:]...)
-			if msg, bad := fails(cand, pauses); bad {
-				actions = cand
-				f.Err = msg
-				if n > 2 {
-					n--
-				}
-				reduced = true
-				break
-			}
-		}
-		if !reduced {
-			if n >= len(actions) {
-				break
-			}
-			n *= 2
-			if n > len(actions) {
-				n = len(actions)
-			}
-		}
 	}
 
 	if len(pauses) > 0 {
@@ -91,4 +60,49 @@ func Shrink(f Failure) Failure {
 
 	f.Schedule = faults.Schedule{Actions: actions, Pauses: pauses, Churn: churn}
 	return f
+}
+
+// ddminActions is the ddmin core shared by the fixed-ring and sharded
+// shrinkers: remove complement chunks while test still reports failure,
+// halving granularity on progress. It returns the minimized actions and
+// the last reproduced error message ("" if no reduction succeeded).
+func ddminActions(actions []faults.Action, test func([]faults.Action) (string, bool)) ([]faults.Action, string) {
+	// Fast path: the failure may not depend on the fault actions at all.
+	if msg, bad := test(nil); bad {
+		return nil, msg
+	}
+	var lastMsg string
+	n := 2
+	for len(actions) >= 2 && n <= len(actions) {
+		chunk := (len(actions) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(actions); start += chunk {
+			end := start + chunk
+			if end > len(actions) {
+				end = len(actions)
+			}
+			cand := make([]faults.Action, 0, len(actions)-(end-start))
+			cand = append(cand, actions[:start]...)
+			cand = append(cand, actions[end:]...)
+			if msg, bad := test(cand); bad {
+				actions = cand
+				lastMsg = msg
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(actions) {
+				break
+			}
+			n *= 2
+			if n > len(actions) {
+				n = len(actions)
+			}
+		}
+	}
+	return actions, lastMsg
 }

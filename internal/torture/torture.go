@@ -86,6 +86,14 @@ type Mix struct {
 	// transport (wall clocks, goroutine scheduling) instead of the
 	// simulation driver; see live.go.
 	Live bool
+	// Shards, when > 0, runs the scenario on a sharded cluster of that
+	// many rings (Scenario.N members each) instead of one ring; see
+	// shard.go. Faults apply only to the shards Faulty selects, and the
+	// single-token census is checked per shard.
+	Shards int
+	// Faulty selects which shards of a sharded mix receive the fault plan
+	// (nil = none).
+	Faulty func(sc Scenario) []int
 	// Plan derives the deterministic fault policy from the scenario.
 	Plan func(sc Scenario) faults.Plan
 }
@@ -415,7 +423,10 @@ type Report struct {
 	Grants   int
 	Steps    int // conformance-checked steps (0 when the checker is off)
 	Schedule faults.Schedule
-	Err      error
+	// Shards carries the per-shard recorded schedules of a sharded mix
+	// (Schedule is then empty).
+	Shards []faults.Schedule
+	Err    error
 }
 
 // Run executes one scenario. With replay nil the fault policy of the
@@ -429,6 +440,13 @@ func Run(sc Scenario, replay *faults.Schedule) Report {
 	if !ok {
 		rep.Err = fmt.Errorf("torture: unknown mix %q (have %v)", sc.Mix, MixNames())
 		return rep
+	}
+	if mix.Shards > 0 {
+		if replay != nil {
+			rep.Err = fmt.Errorf("torture: sharded mix %q replays per-shard schedules; use Failure.Reproduce or RunShardReplay", sc.Mix)
+			return rep
+		}
+		return runShard(sc, mix, nil)
 	}
 	if mix.Live {
 		return runLive(sc, mix, replay)
@@ -709,7 +727,7 @@ func Sweep(cfg SweepConfig, logf func(format string, a ...any)) (SweepResult, er
 					continue
 				}
 				logf("FAIL %-9s %-6s seed=%-3d: %v", variant, mixName, seed, rep.Err)
-				f := Failure{Scenario: rep.Scenario, Schedule: rep.Schedule, Err: rep.Err.Error()}
+				f := Failure{Scenario: rep.Scenario, Schedule: rep.Schedule, Shards: rep.Shards, Err: rep.Err.Error()}
 				if cfg.ArtifactDir != "" {
 					f = Shrink(f)
 					path, werr := WriteArtifact(cfg.ArtifactDir, f)

@@ -5,7 +5,10 @@
 # error, nonzero exit) fails the smoke. Each node also serves the
 # telemetry endpoint (-metrics-addr); the smoke curls /healthz, scrapes
 # /metrics for the expected Prometheus series, and pulls a 1-second CPU
-# profile from /debug/pprof/profile. Run via `make smoke-live`.
+# profile from /debug/pprof/profile. A second phase boots a 2-shard
+# deployment — two independent 2-node rings with -shard labels — and
+# asserts each shard's token circulates and its metrics carry the right
+# shard label. Run via `make smoke-live`.
 set -euo pipefail
 
 GO=${GO:-go}
@@ -86,6 +89,59 @@ for id in 0 1 2; do
 		echo "smoke-live: node $id never acquired the lock" >&2
 		status=1
 	fi
+done
+
+if [ "$status" -ne 0 ]; then
+	echo "smoke-live: FAIL" >&2
+	exit 1
+fi
+echo "smoke-live: single-ring phase ok"
+
+# --- 2-shard phase: two independent 2-node rings, each its own token ---
+# The shards share nothing but the machine; -shard k only tags each
+# ring's telemetry. Both rings must make progress concurrently and each
+# /metrics endpoint must label every series with its shard.
+sbase=$((base + 100))
+for shard in 0 1; do
+	p0=$((sbase + shard * 2))
+	speers="127.0.0.1:$p0,127.0.0.1:$((p0 + 1))"
+	echo "smoke-live: shard $shard ring at $speers"
+	for id in 0 1; do
+		"$tmp/ringnode" -id "$id" -peers "$speers" -shard "$shard" \
+			-locks 1 -pubs 1 -wait 2s -timeout 30s \
+			-metrics-addr "127.0.0.1:$((sbase + 20 + shard * 2 + id))" \
+			>"$tmp/shard$shard-node$id.log" 2>&1 &
+		pids+=($!)
+	done
+done
+
+for shard in 0 1; do
+	maddr="127.0.0.1:$((sbase + 20 + shard * 2))"
+	curl_retry "http://$maddr/healthz" "^ok$" || status=1
+	curl_retry "http://$maddr/metrics" "adaptivetoken_messages_total{kind=\"token\",shard=\"$shard\"}" || status=1
+	# No series may carry the other shard's label: the rings are disjoint.
+	other=$((1 - shard))
+	if curl -fsS --max-time 2 "http://$maddr/metrics" | grep -q "shard=\"$other\""; then
+		echo "smoke-live: shard $shard metrics leak shard $other labels" >&2
+		status=1
+	fi
+done
+
+for p in "${pids[@]}"; do
+	if ! wait "$p"; then
+		status=1
+	fi
+done
+pids=()
+
+for shard in 0 1; do
+	for id in 0 1; do
+		sed "s/^/shard$shard-node$id | /" "$tmp/shard$shard-node$id.log"
+		if ! grep -q "^lock 0 acquired" "$tmp/shard$shard-node$id.log"; then
+			echo "smoke-live: shard $shard node $id never acquired the lock" >&2
+			status=1
+		fi
+	done
 done
 
 if [ "$status" -ne 0 ]; then
