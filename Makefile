@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-mem bench-baseline bench-opt bench-wheel bench-shard vet check clean torture torture-shards fuzz smoke-live trace-demo
+.PHONY: build test race bench bench-mem bench-baseline bench-opt bench-wheel bench-shard bench-par vet check clean torture torture-shards fuzz smoke-live trace-demo
 
 build:
 	$(GO) build ./...
@@ -90,6 +90,17 @@ torture-shards: build
 # byte-parity gate against the unsharded driver (tables_identical).
 bench-shard: build
 	$(GO) run ./cmd/tokensim -shards 8 -requests 20000 -benchjson BENCH_shard.json
+
+# Regenerate BENCH_par.json: every shard count of the fig9shard sweep run
+# twice — once on the inline sequential path (Parallel=1, the oracle) and
+# once across the full worker pool — with a DeepEqual tables-identical gate
+# between the passes, then the fig9big scaling sweep pushed to N=10^6 with
+# peak-heap recording (heap_peak / bytes_per_node). On a 1-CPU host the
+# speedups sit at ~1.0×; GOMAXPROCS is recorded in the artifact so that is
+# legible, and the perf gate keeps budgeting only the sequential floor.
+bench-par: build
+	$(GO) run ./cmd/tokensim -shards 8 -requests 20000 -baseline -big \
+		-nodes 1000000 -benchjson BENCH_par.json
 
 # Live TCP smoke: boot three ringnode processes on loopback, each taking
 # the distributed lock once and publishing one totally ordered message,

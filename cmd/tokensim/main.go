@@ -18,6 +18,9 @@
 //	                                  # timing-wheel record + N=1e5 scaling pass
 //	tokensim -exp fig9 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	tokensim -shards 8                # sharded scaling pass -> BENCH_shard.json
+//	tokensim -shards 8 -baseline -big -nodes 1000000 -benchjson BENCH_par.json
+//	                                  # sequential-vs-parallel shard record +
+//	                                  # fig9big peak-heap pass to N=1e6
 //	tokensim -trace out.json           # traced fig9-style run -> Perfetto JSON
 //	tokensim -trace out.json -benchjson rec.json
 //	                                  # attach the timeline series to the record
@@ -163,6 +166,12 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	opts.Scheduler = sched
+	if *exp == "fig9big" {
+		// The scaling sweep records its peak live heap (bytes_per_node);
+		// the reading needs runs that don't overlap, so keep it sequential.
+		opts.MemRecord = true
+		opts.Parallelism = 1
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -196,6 +205,9 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *shards > 0 {
+		if *baseline {
+			return runShardsBaseline(*shards, opts, *benchjson, *big, out)
+		}
 		return runShards(*shards, opts, *benchjson, out)
 	}
 

@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"reflect"
 	"runtime"
 	"time"
 
@@ -62,31 +63,9 @@ func runShards(maxShards int, opts bench.Options, jsonPath string, out io.Writer
 	fmt.Fprintf(out, "sharded scaling: %d nodes total, aggregate mean gap %g, %d requests\n",
 		totalNodes, meanGap, opts.Requests)
 	for k := 1; k <= maxShards; k *= 2 {
-		popts := opts
-		var stats bench.RunStats
-		popts.Stats = &stats
-		start := time.Now()
-		res, err := bench.RunSharded(popts, k, totalNodes, meanGap)
+		ph, _, err := measureShard(opts, k, totalNodes, meanGap)
 		if err != nil {
 			return fmt.Errorf("shards=%d: %w", k, err)
-		}
-		wall := time.Since(start)
-		grants := res.Grants
-		if grants == 0 {
-			grants = 1
-		}
-		ph := shardPhase{
-			Shards:       k,
-			WallSeconds:  wall.Seconds(),
-			SimEvents:    res.SimEvents,
-			Grants:       res.Grants,
-			Issued:       res.Issued,
-			RespMean:     res.Resp.Mean,
-			RespP99:      res.Resp.P99,
-			MsgsPerGrant: float64(res.TotalMessages) / float64(grants),
-		}
-		if wall > 0 {
-			ph.EventsPerSec = float64(res.SimEvents) / wall.Seconds()
 		}
 		rec.Phases = append(rec.Phases, ph)
 		fmt.Fprintf(out, "  shards=%-2d wall %.3fs  %8.0f events/sec  resp mean %.2f p99 %.2f  msgs/grant %.2f\n",
@@ -108,6 +87,155 @@ func runShards(maxShards int, opts bench.Options, jsonPath string, out io.Writer
 	fmt.Fprintf(out, "shards: 1-shard run vs unsharded driver: %s -> %s\n", identicalWord(identical), jsonPath)
 	if !identical {
 		return fmt.Errorf("1-shard run diverges from the unsharded driver")
+	}
+	return nil
+}
+
+// measureShard times one RunSharded pass at one shard count, returning the
+// recorded phase and the full result (for cross-pass equality checks).
+func measureShard(opts bench.Options, shards, totalNodes int, meanGap float64) (shardPhase, bench.ShardResult, error) {
+	var stats bench.RunStats
+	opts.Stats = &stats
+	start := time.Now()
+	res, err := bench.RunSharded(opts, shards, totalNodes, meanGap)
+	if err != nil {
+		return shardPhase{}, res, err
+	}
+	wall := time.Since(start)
+	grants := res.Grants
+	if grants == 0 {
+		grants = 1
+	}
+	ph := shardPhase{
+		Shards:       shards,
+		WallSeconds:  wall.Seconds(),
+		SimEvents:    res.SimEvents,
+		Grants:       res.Grants,
+		Issued:       res.Issued,
+		RespMean:     res.Resp.Mean,
+		RespP99:      res.Resp.P99,
+		MsgsPerGrant: float64(res.TotalMessages) / float64(grants),
+	}
+	if wall > 0 {
+		ph.EventsPerSec = float64(res.SimEvents) / wall.Seconds()
+	}
+	return ph, res, nil
+}
+
+// parPhase is one shard count of the parallel-execution record: the same
+// sharded run once on the inline sequential path (Parallel=1, the oracle)
+// and once across the full worker pool, with a DeepEqual gate over the
+// complete results — per-shard summaries included, not just the headline
+// numbers.
+type parPhase struct {
+	Shards          int        `json:"shards"`
+	PoolSize        int        `json:"pool_size"`
+	Sequential      shardPhase `json:"sequential"`
+	Parallel        shardPhase `json:"parallel"`
+	Speedup         float64    `json:"speedup,omitempty"`
+	TablesIdentical bool       `json:"tables_identical"`
+}
+
+// parRecord is the BENCH_par.json artifact: sequential-vs-parallel shard
+// execution at each shard count, plus (with -big) the fig9big scaling pass
+// with its peak-heap record. On a 1-CPU host the speedups hover at 1.0× —
+// GOMAXPROCS is recorded so readers can tell "no cores" from "no scaling" —
+// which is why the perf gate budgets only the sequential floor.
+type parRecord struct {
+	Experiment      string     `json:"experiment"`
+	Seed            uint64     `json:"seed"`
+	Requests        int        `json:"requests"`
+	TotalNodes      int        `json:"total_nodes"`
+	MeanGap         float64    `json:"mean_gap"`
+	GOMAXPROCS      int        `json:"gomaxprocs"`
+	Scheduler       string     `json:"scheduler"`
+	Phases          []parPhase `json:"phases"`
+	TablesIdentical bool       `json:"tables_identical"`
+	Fig9Big         *phase     `json:"fig9big,omitempty"`
+	Fig9BigNodes    int        `json:"fig9big_nodes,omitempty"`
+}
+
+// runShardsBaseline executes the -shards -baseline pass behind `make
+// bench-par`: every shard count runs twice — Parallel=1 (the sequential
+// oracle) and Parallel=K (full pool) — and the record asserts the two
+// produce DeepEqual results. With big set, a fig9big pass (sequential, with
+// peak-heap recording) is appended, carrying heap_peak/bytes_per_node for
+// the largest ring.
+func runShardsBaseline(maxShards int, opts bench.Options, jsonPath string, big bool, out io.Writer) error {
+	totalNodes, meanGap := bench.ShardDefaults()
+	if maxShards&(maxShards-1) != 0 || maxShards > totalNodes {
+		return fmt.Errorf("-shards must be a power of two ≤ %d, got %d", totalNodes, maxShards)
+	}
+
+	rec := parRecord{
+		Experiment:      "fig9shard-par",
+		Seed:            opts.Seed,
+		Requests:        opts.Requests,
+		TotalNodes:      totalNodes,
+		MeanGap:         meanGap,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Scheduler:       opts.Scheduler.String(),
+		TablesIdentical: true,
+	}
+	fmt.Fprintf(out, "parallel shard baseline: %d nodes total, aggregate mean gap %g, %d requests, GOMAXPROCS %d\n",
+		totalNodes, meanGap, opts.Requests, rec.GOMAXPROCS)
+	for k := 1; k <= maxShards; k *= 2 {
+		seqOpts := opts
+		seqOpts.Parallelism = 1
+		seqPh, seqRes, err := measureShard(seqOpts, k, totalNodes, meanGap)
+		if err != nil {
+			return fmt.Errorf("shards=%d sequential: %w", k, err)
+		}
+		parOpts := opts
+		parOpts.Parallelism = k
+		parPh, parRes, err := measureShard(parOpts, k, totalNodes, meanGap)
+		if err != nil {
+			return fmt.Errorf("shards=%d parallel: %w", k, err)
+		}
+		ph := parPhase{
+			Shards:          k,
+			PoolSize:        k,
+			Sequential:      seqPh,
+			Parallel:        parPh,
+			TablesIdentical: reflect.DeepEqual(seqRes, parRes),
+		}
+		if parPh.WallSeconds > 0 {
+			ph.Speedup = seqPh.WallSeconds / parPh.WallSeconds
+		}
+		rec.Phases = append(rec.Phases, ph)
+		rec.TablesIdentical = rec.TablesIdentical && ph.TablesIdentical
+		fmt.Fprintf(out, "  shards=%-2d seq %.3fs  par(%d) %.3fs  speedup %.2fx  %8.0f events/sec  %s\n",
+			k, seqPh.WallSeconds, k, parPh.WallSeconds, ph.Speedup, parPh.EventsPerSec, identicalWord(ph.TablesIdentical))
+	}
+
+	if big {
+		bigOpts := opts
+		bigOpts.MemRecord = true
+		bigOpts.Parallelism = 1
+		_, bigPhase, err := measure("fig9big", bigOpts, false)
+		if err != nil {
+			return fmt.Errorf("fig9big: %w", err)
+		}
+		rec.Fig9Big = &bigPhase
+		rec.Fig9BigNodes = opts.Nodes
+		if rec.Fig9BigNodes == 0 {
+			rec.Fig9BigNodes = 100_000
+		}
+		fmt.Fprintf(out, "fig9big: n to %d, %d runs, %d events in %.2fs (%.0f events/sec), peak heap %d B (%.2f B/node at n=%d)\n",
+			rec.Fig9BigNodes, bigPhase.Stats.Runs, bigPhase.Stats.SimEvents,
+			bigPhase.WallSeconds, bigPhase.EventsPerSec,
+			bigPhase.Stats.HeapPeak, bigPhase.Stats.BytesPerNode, bigPhase.Stats.HeapPeakN)
+	}
+
+	if jsonPath == "" {
+		jsonPath = "BENCH_par.json"
+	}
+	if err := writeJSON(jsonPath, rec); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "shards baseline: %s -> %s\n", identicalWord(rec.TablesIdentical), jsonPath)
+	if !rec.TablesIdentical {
+		return fmt.Errorf("parallel shard results diverge from the sequential oracle")
 	}
 	return nil
 }

@@ -24,6 +24,7 @@ package bench
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -60,6 +61,13 @@ type Options struct {
 	// Stats, when non-nil, accumulates totals (runs, simulated events,
 	// messages, grants) across every run for benchmark records.
 	Stats *RunStats
+	// MemRecord, with Stats set, records the peak live heap: after each
+	// run's workload completes (simulation state still live) the harness
+	// forces a GC, reads HeapAlloc, and folds the maximum into the stats —
+	// the bytes_per_node record of the fig9big scaling sweep. Meaningful
+	// only on sequential passes (Parallelism 1): concurrent runs would
+	// inflate each other's readings.
+	MemRecord bool
 }
 
 // DefaultOptions returns CI-sized defaults.
@@ -200,6 +208,15 @@ func runJob(j Job, opts Options) (driver.Result, error) {
 	if err != nil {
 		return driver.Result{}, fmt.Errorf("%s n=%d: %w", j.Cfg.Variant, j.Cfg.N, err)
 	}
+	if opts.MemRecord && opts.Stats != nil {
+		// The runner, its nodes and the engine state are all still live
+		// here; a forced GC leaves exactly the run's working set on the
+		// heap (plus the process baseline, which the big points dwarf).
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		opts.Stats.notePeak(ms.HeapAlloc, j.Cfg.N)
+	}
 	res := r.Summarize(end)
 	opts.Stats.record(res)
 	return res, nil
@@ -283,13 +300,26 @@ func Figure10(opts Options) (Table, error) {
 // of events.
 const fig9bigEventCap = 20_000_000
 
-// fig9bigRequests is the per-point request count of the scaling sweep.
+// fig9bigRequests is the per-point request count of the scaling sweep. The
+// 200-request floor yields to the event cap at very large rings (n > 10⁵,
+// where 200 LinearSearch requests alone would blow past it) but never drops
+// below 20 — enough grants for the responsiveness mean to be meaningful.
+// For n ≤ 10⁵ the cap allows ≥ 200, so every pre-existing sweep point is
+// untouched; at n = 10⁶ the point runs 20 requests.
 func fig9bigRequests(requests, n int) int {
-	if limit := fig9bigEventCap / n; requests > limit {
+	limit := fig9bigEventCap / n
+	if requests > limit {
 		requests = limit
 	}
-	if requests < 200 {
-		requests = 200
+	floor := 200
+	if limit < floor {
+		floor = limit
+	}
+	if floor < 20 {
+		floor = 20
+	}
+	if requests < floor {
+		requests = floor
 	}
 	return requests
 }

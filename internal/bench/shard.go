@@ -50,8 +50,9 @@ type ShardResult struct {
 // RunSharded serves opts.Requests keyed requests at a fixed aggregate load
 // (mean gap meanGap across the whole keyspace) on a cluster of shards
 // rings with totalNodes/shards members each, fanning the shard runs across
-// the options' worker pool. Shards are deterministic in isolation, so the
-// result is identical at every parallelism level.
+// the cluster's own worker pool (sized by the options' parallelism).
+// Shards are deterministic in isolation, so the result is identical at
+// every parallelism level.
 func RunSharded(opts Options, shards, totalNodes int, meanGap float64) (ShardResult, error) {
 	opts = opts.withDefaults()
 	if shards < 1 || totalNodes%shards != 0 {
@@ -64,25 +65,19 @@ func RunSharded(opts Options, shards, totalNodes int, meanGap float64) (ShardRes
 		Protocol:  figureConfig(protocol.BinarySearch, nodes),
 		Seed:      opts.Seed,
 		Scheduler: opts.Scheduler,
+		Parallel:  opts.runner().workers(shards),
 	})
 	if err != nil {
 		return ShardResult{}, err
 	}
-	per := c.Split(shard.TakeKeyed(opts.Seed, totalNodes, meanGap, opts.Requests))
-	results, err := opts.runner().Collect(shards, func(k int) (driver.Result, error) {
-		end, err := c.Run(k, per[k], opts.MaxTime)
-		if err != nil {
-			return driver.Result{}, err
-		}
-		res := c.Shard(k).Summarize(end)
+	results, err := c.RunAll(shard.TakeKeyed(opts.Seed, totalNodes, meanGap, opts.Requests), opts.MaxTime)
+	if err != nil {
+		return ShardResult{}, err
+	}
+	// Stats totals fold in after the join, in shard order — the benchmark
+	// record never depends on worker scheduling.
+	for _, res := range results {
 		opts.Stats.record(res)
-		return res, nil
-	})
-	if err != nil {
-		return ShardResult{}, err
-	}
-	if err := c.Census(); err != nil {
-		return ShardResult{}, err
 	}
 
 	agg := ShardResult{Shards: shards, PerShard: results}

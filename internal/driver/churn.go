@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"sort"
 
+	"adaptivetoken/internal/bitset"
 	"adaptivetoken/internal/faults"
 	"adaptivetoken/internal/host"
 	"adaptivetoken/internal/membership"
@@ -50,12 +51,13 @@ import (
 // run uses churn (initial members, churn events, or Kill).
 type churnState struct {
 	tracker *membership.Tracker
-	member  []bool // current view, mirrored for O(1) gating
+	member  bitset.Set // current view, mirrored for O(1) gating
 
-	wantLeave     []bool // graceful leaves awaiting a safe point
-	pendingLeaves int
-	committing    bool // a view propagation is in progress (reentrancy guard)
-	leaving       bool // tryLeaves is on the stack (reentrancy guard)
+	// wantLeave marks graceful leaves awaiting a safe point; its popcount
+	// is the pending-leave count.
+	wantLeave  bitset.Set
+	committing bool // a view propagation is in progress (reentrancy guard)
+	leaving    bool // tryLeaves is on the stack (reentrancy guard)
 
 	// inflight counts every physical message on the wire (parked arrivals
 	// at paused nodes included); epochInFlight splits the token-bearing
@@ -101,13 +103,13 @@ func (r *Runner) enableChurn(initial []int) error {
 	}
 	ch := &churnState{
 		tracker:       membership.NewTracker(view),
-		member:        make([]bool, r.cfg.N),
-		wantLeave:     make([]bool, r.cfg.N),
+		member:        bitset.New(r.cfg.N),
+		wantLeave:     bitset.New(r.cfg.N),
 		epochInFlight: make(map[uint64]int),
 		tokenTo:       make([]int, r.cfg.N),
 	}
 	for _, m := range view.Members {
-		ch.member[m] = true
+		ch.member.Set(m)
 	}
 	if r.inFlightToken > 0 {
 		ch.epochInFlight[0] = r.inFlightToken
@@ -184,14 +186,14 @@ func (r *Runner) Crash(at sim.Time, id int) error {
 // commitJoin admits id into the view and propagates the new view.
 func (r *Runner) commitJoin(id int) {
 	ch := r.churn
-	if ch.member[id] || r.dead[id] {
+	if ch.member.Get(id) || r.dead.Get(id) {
 		return
 	}
 	// State transfer: the freshest circulation stamp and token epoch among
 	// the current members seed the joiner's compacted history.
 	var syncStamp, syncEpoch uint64
 	for i := 0; i < r.cfg.N; i++ {
-		if !ch.member[i] || r.dead[i] {
+		if !ch.member.Get(i) || r.dead.Get(i) {
 			continue
 		}
 		if ls := r.nodes[i].LastSeen(); ls > syncStamp {
@@ -201,7 +203,7 @@ func (r *Runner) commitJoin(id int) {
 			syncEpoch = ep
 		}
 	}
-	ch.member[id] = true
+	ch.member.Set(id)
 	ch.tracker.Apply(membership.Change{Kind: membership.Join, Node: id})
 	r.host.EmitFault(FaultEvent{At: r.eng.Now(), Kind: host.FaultJoin, Node: id})
 	r.propagateView(id, syncStamp, syncEpoch)
@@ -210,43 +212,39 @@ func (r *Runner) commitJoin(id int) {
 // requestLeave marks id as wanting out and commits at once if already safe.
 func (r *Runner) requestLeave(id int) {
 	ch := r.churn
-	if !ch.member[id] || r.dead[id] || ch.wantLeave[id] {
+	if !ch.member.Get(id) || r.dead.Get(id) || ch.wantLeave.Get(id) {
 		return
 	}
-	ch.wantLeave[id] = true
-	ch.pendingLeaves++
+	ch.wantLeave.Set(id)
 	r.tryLeaves()
 }
 
 // commitCrash kills id and removes it from the view.
 func (r *Runner) commitCrash(id int) {
 	ch := r.churn
-	if r.dead[id] {
+	if r.dead.Get(id) {
 		return
 	}
-	r.dead[id] = true
-	r.paused[id] = false
+	r.dead.Set(id)
+	r.paused.Clear(id)
 	// Parked work dies with the node; in-flight accounting for parked
 	// arrivals is settled as if the messages had been swallowed.
-	for _, it := range r.held[id] {
-		if it.kind == heldArrive {
-			r.noteSwallowed(it.msg)
+	if q := r.held[id]; len(q) > 0 {
+		for _, it := range q {
+			if it.kind == heldArrive {
+				r.noteSwallowed(it.msg)
+			}
 		}
+		r.heldN -= len(q)
 	}
-	r.held[id] = nil
-	if r.hasTok[id] {
-		// The token dies with the corpse; only §5 recovery can replace it.
-		r.hasTok[id] = false
-		r.holders--
-	}
-	if ch.wantLeave[id] {
-		ch.wantLeave[id] = false
-		ch.pendingLeaves--
-	}
-	if !ch.member[id] {
+	delete(r.held, id)
+	// The token dies with the corpse; only §5 recovery can replace it.
+	r.hasTok.Clear(id)
+	ch.wantLeave.Clear(id)
+	if !ch.member.Get(id) {
 		return
 	}
-	ch.member[id] = false
+	ch.member.Clear(id)
 	ch.tracker.Apply(membership.Change{Kind: membership.Leave, Node: id})
 	r.host.EmitFault(FaultEvent{At: r.eng.Now(), Kind: host.FaultCrash, Node: id})
 	r.propagateView(protocol.None, 0, 0)
@@ -269,35 +267,33 @@ func (r *Runner) noteSwallowed(m protocol.Message) {
 // leaveSafe reports whether id can leave without taking the token (or a
 // grant in progress) with it.
 func (r *Runner) leaveSafe(id int) bool {
-	n := r.nodes[id]
+	n := &r.nodes[id]
 	return !n.HasToken() && !n.Pending() && !n.InCS() &&
-		!r.paused[id] && len(r.held[id]) == 0 && r.churn.tokenTo[id] == 0
+		!r.paused.Get(id) && len(r.held[id]) == 0 && r.churn.tokenTo[id] == 0
 }
 
 // tryLeaves commits every pending graceful leave that has reached a safe
 // point. Called after every applied step while leaves are pending.
 func (r *Runner) tryLeaves() {
 	ch := r.churn
-	if ch.committing || ch.leaving || ch.pendingLeaves == 0 {
+	if ch.committing || ch.leaving || !ch.wantLeave.Any() {
 		return
 	}
 	ch.leaving = true
 	defer func() { ch.leaving = false }()
-	for id := 0; id < r.cfg.N && ch.pendingLeaves > 0; id++ {
-		if !ch.wantLeave[id] {
+	for id := 0; id < r.cfg.N && ch.wantLeave.Any(); id++ {
+		if !ch.wantLeave.Get(id) {
 			continue
 		}
-		if r.dead[id] {
-			ch.wantLeave[id] = false
-			ch.pendingLeaves--
+		if r.dead.Get(id) {
+			ch.wantLeave.Clear(id)
 			continue
 		}
 		if !r.leaveSafe(id) {
 			continue
 		}
-		ch.wantLeave[id] = false
-		ch.pendingLeaves--
-		ch.member[id] = false
+		ch.wantLeave.Clear(id)
+		ch.member.Clear(id)
 		ch.tracker.Apply(membership.Change{Kind: membership.Leave, Node: id})
 		r.host.EmitFault(FaultEvent{At: r.eng.Now(), Kind: host.FaultLeave, Node: id})
 		r.propagateView(protocol.None, 0, 0)
@@ -313,7 +309,7 @@ func (r *Runner) propagateView(joiner int, syncStamp, syncEpoch uint64) {
 	v := ch.tracker.View()
 	now := r.eng.Now()
 	for i := 0; i < r.cfg.N; i++ {
-		if !ch.member[i] || r.dead[i] {
+		if !ch.member.Get(i) || r.dead.Get(i) {
 			continue
 		}
 		u := protocol.ViewUpdate{Epoch: v.Epoch, Members: v.Members}
@@ -330,7 +326,7 @@ func (r *Runner) propagateView(joiner int, syncStamp, syncEpoch uint64) {
 
 // afterChurn runs the deferred churn work skipped while committing.
 func (r *Runner) afterChurn() {
-	if r.churn.pendingLeaves > 0 {
+	if r.churn.wantLeave.Any() {
 		r.tryLeaves()
 	}
 	r.checkChurnInvariant()
@@ -356,7 +352,7 @@ func (r *Runner) checkChurnInvariant() {
 		census = append(census, epochCount{epoch: epoch, n: n})
 	}
 	for i := 0; i < r.cfg.N; i++ {
-		if !ch.member[i] || r.dead[i] || !r.nodes[i].HasToken() {
+		if !ch.member.Get(i) || r.dead.Get(i) || !r.nodes[i].HasToken() {
 			continue
 		}
 		add(r.nodes[i].Epoch(), 1)
@@ -443,10 +439,10 @@ func (r *Runner) ChurnSnapshot() ChurnSnapshot {
 	}
 	sort.Ints(s.Members)
 	for i := 0; i < r.cfg.N; i++ {
-		n := r.nodes[i]
+		n := &r.nodes[i]
 		s.Nodes[i] = ChurnNodeState{
-			Member:     ch.member[i],
-			Dead:       r.dead[i],
+			Member:     ch.member.Get(i),
+			Dead:       r.dead.Get(i),
 			HasToken:   n.HasToken(),
 			InCS:       n.InCS(),
 			Pending:    n.Pending(),

@@ -22,6 +22,7 @@ package driver
 import (
 	"fmt"
 
+	"adaptivetoken/internal/bitset"
 	"adaptivetoken/internal/faults"
 	"adaptivetoken/internal/host"
 	"adaptivetoken/internal/metrics"
@@ -79,8 +80,11 @@ type Runner struct {
 	cfg  protocol.Config
 	opts Options
 
-	eng   *sim.Engine
-	nodes []*protocol.Node
+	eng *sim.Engine
+	// nodes is one contiguous slab sharing a single Config (protocol.Init):
+	// a 10⁶-node ring is one allocation, not 10⁶, and carries one Config
+	// copy instead of one per node.
+	nodes []protocol.Node
 	host  *host.Host
 
 	// Metrics.
@@ -93,18 +97,25 @@ type Runner struct {
 	issued        int // requests actually issued (not coalesced)
 	coalesced     int // requests skipped because the node was already pending or in CS
 	inFlightToken int
-	// hasTok/holders mirror per-node HasToken incrementally (updated on
-	// every applied step), so the single-token invariant check is O(1) per
-	// event instead of the O(n) scan that dominated the PR 4 CPU profile.
-	hasTok        []bool
-	holders       int
-	invariantErr  error
-	invariantOff  bool
-	dead          []bool
-	paused        []bool
-	held          [][]heldItem // per-node work queued while paused
-	faults        *faults.Injector
-	churn         *churnState // nil until a run uses membership churn
+	// hasTok mirrors per-node HasToken incrementally (updated on every
+	// applied step); its maintained popcount is the holder count, so the
+	// single-token invariant check is O(1) per event instead of the O(n)
+	// scan that dominated the PR 4 CPU profile. dead and paused are
+	// bitsets too: 1 bit per node per flag instead of 1 byte, and
+	// anyDead/heldWork become O(1) popcount reads.
+	hasTok       bitset.Set
+	invariantErr error
+	invariantOff bool
+	dead         bitset.Set
+	paused       bitset.Set
+	// held maps a paused node to its queued work. Lazily allocated: runs
+	// without pauses (every benchmark sweep) never pay the per-node
+	// slice headers an array of queues cost at 10⁶ nodes. heldN is the
+	// total parked item count across all nodes.
+	held   map[int][]heldItem
+	heldN  int
+	faults *faults.Injector
+	churn  *churnState // nil until a run uses membership churn
 }
 
 // heldItem is one unit of work parked at a paused node: a typed record
@@ -159,17 +170,14 @@ func New(cfg protocol.Config, opts Options) (*Runner, error) {
 		}
 		r.faults = inj
 	}
-	r.dead = make([]bool, cfg.N)
-	r.hasTok = make([]bool, cfg.N)
-	r.paused = make([]bool, cfg.N)
-	r.held = make([][]heldItem, cfg.N)
-	r.nodes = make([]*protocol.Node, cfg.N)
-	for i := 0; i < cfg.N; i++ {
-		n, err := protocol.New(i, cfg)
-		if err != nil {
+	r.dead = bitset.New(cfg.N)
+	r.hasTok = bitset.New(cfg.N)
+	r.paused = bitset.New(cfg.N)
+	r.nodes = make([]protocol.Node, cfg.N)
+	for i := range r.nodes {
+		if err := r.nodes[i].Init(i, &r.cfg); err != nil {
 			return nil, err
 		}
-		r.nodes[i] = n
 	}
 	h, err := host.New(host.Config{
 		Clock:    host.SimClock{Eng: r.eng},
@@ -177,7 +185,7 @@ func New(cfg protocol.Config, opts Options) (*Runner, error) {
 		Faults:   r.faults,
 		Observer: opts.Observer,
 		Msgs:     r.Msgs,
-		Machine:  func(id int) *protocol.Node { return r.nodes[id] },
+		Machine:  func(id int) *protocol.Node { return &r.nodes[id] },
 		Hooks: host.Hooks{
 			Granted:     r.onGranted,
 			TimerGate:   r.timerGate,
@@ -252,8 +260,8 @@ func (n simNetwork) Deliver(m protocol.Message, extra sim.Time) {
 // accounting — if the destination is paused, so a token stuck at a paused
 // node keeps counting as in flight. Crashed endpoints swallow traffic.
 func (r *Runner) deliverGate(m protocol.Message) bool {
-	if r.paused[m.To] && !r.dead[m.To] {
-		r.held[m.To] = append(r.held[m.To], heldItem{kind: heldArrive, msg: m})
+	if r.paused.Get(m.To) && !r.dead.Get(m.To) {
+		r.park(m.To, heldItem{kind: heldArrive, msg: m})
 		return false
 	}
 	if m.Kind.Expensive() {
@@ -267,11 +275,11 @@ func (r *Runner) deliverGate(m protocol.Message) bool {
 		}
 		// A departed destination swallows traffic; the sender side stays
 		// open so a token passed by a node mid-leave is not lost.
-		if !ch.member[m.To] {
+		if !ch.member.Get(m.To) {
 			return false
 		}
 	}
-	if r.dead[m.To] || r.dead[m.From] {
+	if r.dead.Get(m.To) || r.dead.Get(m.From) {
 		return false
 	}
 	if m.Kind == protocol.MsgToken && r.opts.TrackFairness {
@@ -282,24 +290,34 @@ func (r *Runner) deliverGate(m protocol.Message) bool {
 
 // timerGate drops timers at dead nodes and queues them at paused ones.
 func (r *Runner) timerGate(id int, tm protocol.Timer) bool {
-	if r.dead[id] {
+	if r.dead.Get(id) {
 		return false
 	}
-	if r.churn != nil && !r.churn.member[id] {
+	if r.churn != nil && !r.churn.member.Get(id) {
 		return false
 	}
-	if r.paused[id] {
-		r.held[id] = append(r.held[id], heldItem{kind: heldTimer, node: id, tm: tm})
+	if r.paused.Get(id) {
+		r.park(id, heldItem{kind: heldTimer, node: id, tm: tm})
 		return false
 	}
 	return true
+}
+
+// park queues one unit of work at a paused node, allocating the held map on
+// first use.
+func (r *Runner) park(node int, it heldItem) {
+	if r.held == nil {
+		r.held = make(map[int][]heldItem)
+	}
+	r.held[node] = append(r.held[node], it)
+	r.heldN++
 }
 
 // Engine exposes the simulation engine (for tests and custom schedules).
 func (r *Runner) Engine() *sim.Engine { return r.eng }
 
 // Node returns the i-th protocol node.
-func (r *Runner) Node(i int) *protocol.Node { return r.nodes[i] }
+func (r *Runner) Node(i int) *protocol.Node { return &r.nodes[i] }
 
 // Grants returns the number of grants so far.
 func (r *Runner) Grants() int { return r.grants }
@@ -331,8 +349,8 @@ func (r *Runner) FaultSchedule() faults.Schedule { return r.faults.Schedule() }
 // Holder returns the ring position of the current token holder, or -1 while
 // the token is in flight (or lost). Used by the telemetry series sampler.
 func (r *Runner) Holder() int {
-	for i, n := range r.nodes {
-		if !r.dead[i] && n.HasToken() {
+	for i := range r.nodes {
+		if !r.dead.Get(i) && r.nodes[i].HasToken() {
 			return i
 		}
 	}
@@ -343,8 +361,8 @@ func (r *Runner) Holder() int {
 // exactly 1 while no node has been killed.
 func (r *Runner) TokenCount() int {
 	holders := 0
-	for i, n := range r.nodes {
-		if !r.dead[i] && n.HasToken() {
+	for i := range r.nodes {
+		if !r.dead.Get(i) && r.nodes[i].HasToken() {
 			holders++
 		}
 	}
@@ -373,22 +391,23 @@ func (r *Runner) Pause(at sim.Time, node int, dur sim.Time) error {
 		return fmt.Errorf("driver: pause duration %d must be positive", dur)
 	}
 	if err := r.eng.At(at, func() {
-		if r.dead[node] || r.paused[node] {
+		if r.dead.Get(node) || r.paused.Get(node) {
 			return
 		}
-		r.paused[node] = true
+		r.paused.Set(node)
 		r.host.EmitFault(FaultEvent{At: r.eng.Now(), Kind: FaultPause, Node: node})
 	}); err != nil {
 		return err
 	}
 	return r.eng.At(at+dur, func() {
-		if !r.paused[node] {
+		if !r.paused.Get(node) {
 			return
 		}
-		r.paused[node] = false
+		r.paused.Clear(node)
 		r.host.EmitFault(FaultEvent{At: r.eng.Now(), Kind: FaultResume, Node: node})
 		q := r.held[node]
-		r.held[node] = nil
+		delete(r.held, node)
+		r.heldN -= len(q)
 		for _, it := range q {
 			switch it.kind {
 			case heldArrive:
@@ -403,7 +422,7 @@ func (r *Runner) Pause(at sim.Time, node int, dur sim.Time) error {
 		}
 		// If the drain queued nothing new, give the node its backing array
 		// back for the next pause window.
-		if len(r.held[node]) == 0 {
+		if len(q) > 0 && len(r.held[node]) == 0 {
 			r.held[node] = q[:0]
 		}
 	})
@@ -417,12 +436,7 @@ func (r *Runner) DisarmInvariant() { r.invariantOff = true }
 // heldWork reports whether any node is paused or has queued work — the run
 // is not quiescent until both clear.
 func (r *Runner) heldWork() bool {
-	for i := range r.paused {
-		if r.paused[i] || len(r.held[i]) > 0 {
-			return true
-		}
-	}
-	return false
+	return r.paused.Any() || r.heldN > 0
 }
 
 // onApplied maintains the incremental holder count and re-checks the
@@ -431,17 +445,10 @@ func (r *Runner) heldWork() bool {
 // exact — and O(1) where scanning all nodes was the hottest path in the
 // whole repo (38% of fig9 CPU before this existed).
 func (r *Runner) onApplied(id int) {
-	if ht := r.nodes[id].HasToken(); ht != r.hasTok[id] {
-		r.hasTok[id] = ht
-		if ht {
-			r.holders++
-		} else {
-			r.holders--
-		}
-	}
+	r.hasTok.SetTo(id, r.nodes[id].HasToken())
 	r.checkInvariant()
 	if ch := r.churn; ch != nil && !ch.committing {
-		if ch.pendingLeaves > 0 {
+		if ch.wantLeave.Any() {
 			r.tryLeaves()
 		}
 		r.checkChurnInvariant()
@@ -450,14 +457,7 @@ func (r *Runner) onApplied(id int) {
 
 // anyDead reports whether any node has been killed (crashes may legitimately
 // lose or re-mint the token).
-func (r *Runner) anyDead() bool {
-	for _, d := range r.dead {
-		if d {
-			return true
-		}
-	}
-	return false
-}
+func (r *Runner) anyDead() bool { return r.dead.Any() }
 
 // checkInvariant records the first violation of the single-token property,
 // using the incrementally maintained holder count. The check is disabled
@@ -467,7 +467,7 @@ func (r *Runner) checkInvariant() {
 	if r.invariantErr != nil || r.invariantOff {
 		return
 	}
-	if c := r.holders + r.inFlightToken; c != 1 {
+	if c := r.hasTok.Count() + r.inFlightToken; c != 1 {
 		if r.anyDead() {
 			return
 		}
@@ -493,11 +493,11 @@ func (r *Runner) onGranted(id int) {
 
 // doRelease exits the critical section at node id, queueing if paused.
 func (r *Runner) doRelease(id int) {
-	if r.dead[id] {
+	if r.dead.Get(id) {
 		return
 	}
-	if r.paused[id] {
-		r.held[id] = append(r.held[id], heldItem{kind: heldRelease, node: id})
+	if r.paused.Get(id) {
+		r.park(id, heldItem{kind: heldRelease, node: id})
 		return
 	}
 	eff := r.nodes[id].Release(protocol.Time(r.eng.Now()))
@@ -513,17 +513,17 @@ func (r *Runner) Request(at sim.Time, node int) error {
 
 // doRequest issues a token request at node, queueing if paused.
 func (r *Runner) doRequest(node int) {
-	if r.dead[node] {
+	if r.dead.Get(node) {
 		return
 	}
-	if r.churn != nil && !r.churn.member[node] {
+	if r.churn != nil && !r.churn.member.Get(node) {
 		return // outside the cluster: requests are no-ops until it joins
 	}
-	if r.paused[node] {
-		r.held[node] = append(r.held[node], heldItem{kind: heldRequest, node: node})
+	if r.paused.Get(node) {
+		r.park(node, heldItem{kind: heldRequest, node: node})
 		return
 	}
-	n := r.nodes[node]
+	n := &r.nodes[node]
 	if n.Pending() || n.InCS() {
 		r.coalesced++
 		return // the one-outstanding throttle, host side

@@ -3,6 +3,7 @@ package protocol
 import (
 	"fmt"
 
+	"adaptivetoken/internal/bitset"
 	"adaptivetoken/internal/ring"
 )
 
@@ -11,7 +12,10 @@ import (
 // and Release; outputs are returned as Effects. Not safe for concurrent
 // use — hosts serialize.
 type Node struct {
-	cfg Config
+	// cfg is shared, never copied per node: a driver building a 10⁶-node
+	// ring hands every node the same pointer (see Init). Nodes never
+	// write it.
+	cfg *Config
 	id  int
 	rg  ring.Ring
 
@@ -60,11 +64,10 @@ type Node struct {
 	epoch    uint64
 	recovery recoveryState
 
-	// Membership view (§5 churn): nil live means the full ring (the
-	// churn-free fast path); otherwise live[i] marks position i as a
-	// member of the view stamped viewEpoch.
-	live      []bool
-	liveN     int
+	// Membership view (§5 churn): a zero-length live set means the full
+	// ring (the churn-free fast path); otherwise bit i marks position i
+	// as a member of the view stamped viewEpoch.
+	live      bitset.Set
 	viewEpoch uint64
 
 	// attach is the application payload riding on the token; valid while
@@ -80,22 +83,29 @@ type Node struct {
 	curGrantSeq  uint64
 }
 
-// trapEntry is a stored token trap τ_requester.
+// trapEntry is a stored token trap τ_requester. Ring positions are int32
+// (a ring outgrows int32 long after it outgrows memory): at 24 bytes per
+// entry instead of 32, the ~2×10⁷ traps a fig9big LinearSearch point keeps
+// live shed a quarter of what was the largest allocation in the heap
+// profile.
 type trapEntry struct {
-	requester int
 	reqSeq    uint64
-	from      int    // previous hop of the search trail (inverse GC)
 	bornRound uint64 // freshest circulation round known when set (aging GC)
+	requester int32
+	from      int32 // previous hop of the search trail (inverse GC)
 }
 
 // trapIndex maps a requester id to its absolute index in Node.traps.
 // Normal rings get a dense array — the per-hop lookups on the search path
 // are then pure indexing — while huge rings (the fig9big 10^5-node sweeps)
 // fall back to a map so per-node memory stays proportional to the traps
-// actually stored. Allocated lazily on the first stored trap.
+// actually stored. The map is int32-keyed and int32-valued: halving the
+// entry payload roughly halves the bucket memory, which the heap profile
+// had at ~450 MB across a big LinearSearch point. Allocated lazily on the
+// first stored trap.
 type trapIndex struct {
 	dense  []int32 // requester -> index+1; 0 = absent
-	sparse map[int]int
+	sparse map[int32]int32
 }
 
 // denseTrapIndex is the largest ring size indexed with a dense array
@@ -108,7 +118,7 @@ func (x *trapIndex) init(n int) {
 	if n <= denseTrapIndex {
 		x.dense = make([]int32, n)
 	} else {
-		x.sparse = make(map[int]int)
+		x.sparse = make(map[int32]int32)
 	}
 }
 
@@ -120,8 +130,8 @@ func (x *trapIndex) get(requester int) (int, bool) {
 		v := x.dense[requester]
 		return int(v) - 1, v != 0
 	}
-	i, ok := x.sparse[requester]
-	return i, ok
+	i, ok := x.sparse[int32(requester)]
+	return int(i), ok
 }
 
 func (x *trapIndex) set(requester, i int) {
@@ -129,7 +139,7 @@ func (x *trapIndex) set(requester, i int) {
 		x.dense[requester] = int32(i) + 1
 		return
 	}
-	x.sparse[requester] = i
+	x.sparse[int32(requester)] = int32(i)
 }
 
 func (x *trapIndex) del(requester int) {
@@ -139,27 +149,42 @@ func (x *trapIndex) del(requester int) {
 		}
 		return
 	}
-	delete(x.sparse, requester)
+	delete(x.sparse, int32(requester))
 }
 
-// New returns a node with the given ring position.
+// New returns a node with the given ring position, owning a private copy
+// of cfg. Hosts building whole rings should allocate the nodes in one slab
+// and Init them against a single shared Config instead.
 func New(id int, cfg Config) (*Node, error) {
-	if err := cfg.Validate(); err != nil {
+	n := new(Node)
+	if err := n.Init(id, &cfg); err != nil {
 		return nil, err
 	}
+	return n, nil
+}
+
+// Init initializes n in place as ring position id. cfg is retained, not
+// copied — every node of a ring can (and in the driver does) share one
+// Config, so a 10⁶-node ring carries one copy instead of 10⁶. The Config
+// must not change after the first Init against it; nodes never write it.
+func (n *Node) Init(id int, cfg *Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
 	if id < 0 || id >= cfg.N {
-		return nil, fmt.Errorf("protocol: node id %d outside ring of %d", id, cfg.N)
+		return fmt.Errorf("protocol: node id %d outside ring of %d", id, cfg.N)
 	}
 	rg, err := ring.New(cfg.N)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return &Node{
+	*n = Node{
 		cfg:      cfg,
 		id:       id,
 		rg:       rg,
 		returnTo: None,
-	}, nil
+	}
+	return nil
 }
 
 // ID returns the node's ring position.
@@ -198,13 +223,13 @@ func (n *Node) RecoveryActive() bool { return n.recovery.active }
 // TrapRequesters appends the requester ids of the stored traps, FIFO.
 func (n *Node) TrapRequesters(dst []int) []int {
 	for _, tr := range n.traps[n.trapHead:] {
-		dst = append(dst, tr.requester)
+		dst = append(dst, int(tr.requester))
 	}
 	return dst
 }
 
-// Config returns the node's configuration.
-func (n *Node) Config() Config { return n.cfg }
+// Config returns a copy of the node's configuration.
+func (n *Node) Config() Config { return *n.cfg }
 
 // Stats is a diagnostic snapshot of a node's protocol state.
 type Stats struct {
@@ -517,11 +542,11 @@ func (n *Node) deliverNext(_ Time, e *Effects) bool {
 	n.hasToken = false
 	n.holdGen++
 	n.pushGen++
-	to := tr.requester
-	if n.cfg.TrapGC == GCInverse && tr.from != tr.requester && tr.from != n.id && tr.from != None && n.member(tr.from) {
+	to := int(tr.requester)
+	if n.cfg.TrapGC == GCInverse && tr.from != tr.requester && int(tr.from) != n.id && int(tr.from) != None && n.member(int(tr.from)) {
 		// Inverse clean-up: trace the search trail backwards,
 		// removing traps en route (skipped if the trail hop departed).
-		to = tr.from
+		to = int(tr.from)
 	}
 	e.send(Message{
 		Kind:      MsgTokenReturn,
@@ -532,7 +557,7 @@ func (n *Node) deliverNext(_ Time, e *Effects) bool {
 		Attach:    n.attach,
 		Served:    n.servedSnapshot(),
 		ReturnTo:  n.id,
-		Requester: tr.requester,
+		Requester: int(tr.requester),
 		ReqSeq:    tr.reqSeq,
 	})
 	return true
@@ -552,8 +577,8 @@ func (n *Node) handleTokenReturn(now Time, m Message, e *Effects) {
 		// requester and forward along the trail.
 		next := m.Requester
 		if tr, ok := n.removeTrap(m.Requester); ok {
-			if tr.from != m.Requester && tr.from != n.id && tr.from != None {
-				next = tr.from
+			if int(tr.from) != m.Requester && int(tr.from) != n.id && int(tr.from) != None {
+				next = int(tr.from)
 			}
 		}
 		if !n.member(next) {
@@ -625,7 +650,7 @@ func (n *Node) addTrap(requester int, reqSeq uint64, from int, stamp uint64) boo
 	if i, ok := n.trapAt.get(requester); ok {
 		if reqSeq > n.traps[i].reqSeq {
 			n.traps[i].reqSeq = reqSeq
-			n.traps[i].from = from
+			n.traps[i].from = int32(from)
 			n.traps[i].bornRound = n.freshRound(stamp)
 		}
 		return true
@@ -638,9 +663,9 @@ func (n *Node) addTrap(requester int, reqSeq uint64, from int, stamp uint64) boo
 	}
 	n.trapAt.set(requester, len(n.traps))
 	n.traps = append(n.traps, trapEntry{
-		requester: requester,
+		requester: int32(requester),
 		reqSeq:    reqSeq,
-		from:      from,
+		from:      int32(from),
 		bornRound: n.freshRound(stamp),
 	})
 	return true
@@ -662,7 +687,7 @@ func (n *Node) popTrap() (trapEntry, bool) {
 	n.compactTraps()
 	for n.trapHead < len(n.traps) {
 		tr := n.traps[n.trapHead]
-		n.trapAt.del(tr.requester)
+		n.trapAt.del(int(tr.requester))
 		n.trapHead++
 		if n.trapHead == len(n.traps) {
 			n.traps = n.traps[:0]
@@ -686,7 +711,7 @@ func (n *Node) compactTraps() {
 	n.traps = n.traps[:live]
 	n.trapHead = 0
 	for i := range n.traps {
-		n.trapAt.set(n.traps[i].requester, i)
+		n.trapAt.set(int(n.traps[i].requester), i)
 	}
 }
 
@@ -701,7 +726,7 @@ func (n *Node) removeTrap(requester int) (trapEntry, bool) {
 	copy(n.traps[i:], n.traps[i+1:])
 	n.traps = n.traps[:len(n.traps)-1]
 	for j := i; j < len(n.traps); j++ {
-		n.trapAt.set(n.traps[j].requester, j)
+		n.trapAt.set(int(n.traps[j].requester), j)
 	}
 	return tr, true
 }
@@ -741,12 +766,12 @@ func (n *Node) sweepTraps(keep func(trapEntry) bool) {
 		if keep(tr) {
 			live = append(live, tr)
 		} else {
-			n.trapAt.del(tr.requester)
+			n.trapAt.del(int(tr.requester))
 		}
 	}
 	n.traps = live
 	n.trapHead = 0
 	for i := range n.traps {
-		n.trapAt.set(n.traps[i].requester, i)
+		n.trapAt.set(int(n.traps[i].requester), i)
 	}
 }

@@ -96,7 +96,7 @@ const trapServed = -2
 // the satisfaction record.
 func (n *Node) isServed(tr trapEntry) bool {
 	for _, rec := range n.served {
-		if rec.Requester == tr.requester && rec.ReqSeq >= tr.reqSeq {
+		if rec.Requester == int(tr.requester) && rec.ReqSeq >= tr.reqSeq {
 			return true
 		}
 	}

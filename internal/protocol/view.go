@@ -1,12 +1,14 @@
 package protocol
 
+import "adaptivetoken/internal/bitset"
+
 // Dynamic membership (§5): a node may carry a live view — an epoch-stamped
 // subset of the ring positions that are currently members. With no view
-// applied (live == nil) every routing decision delegates to the full-ring
-// math, byte-for-byte identical to the churn-free protocol; once a view
-// arrives, token passes, searches and recovery probes route over the live
-// members only, walking the same ring order with the dead positions spliced
-// out.
+// applied (zero-length live set) every routing decision delegates to the
+// full-ring math, byte-for-byte identical to the churn-free protocol; once
+// a view arrives, token passes, searches and recovery probes route over the
+// live members only, walking the same ring order with the dead positions
+// spliced out.
 
 // ViewUpdate is one membership view change delivered to a node by its host.
 type ViewUpdate struct {
@@ -32,21 +34,17 @@ func (n *Node) ApplyView(now Time, u ViewUpdate) Effects {
 
 // ApplyViewInto is ApplyView appending into a caller-owned Effects.
 func (n *Node) ApplyViewInto(now Time, u ViewUpdate, e *Effects) {
-	if n.live != nil && u.Epoch <= n.viewEpoch {
+	if n.live.Len() != 0 && u.Epoch <= n.viewEpoch {
 		return // stale or duplicate view
 	}
-	if n.live == nil {
-		n.live = make([]bool, n.cfg.N)
+	if n.live.Len() == 0 {
+		n.live = bitset.New(n.cfg.N)
 	} else {
-		for i := range n.live {
-			n.live[i] = false
-		}
+		n.live.ClearAll()
 	}
-	n.liveN = 0
 	for _, m := range u.Members {
-		if m >= 0 && m < n.cfg.N && !n.live[m] {
-			n.live[m] = true
-			n.liveN++
+		if m >= 0 && m < n.cfg.N {
+			n.live.Set(m)
 		}
 	}
 	n.viewEpoch = u.Epoch
@@ -57,7 +55,7 @@ func (n *Node) ApplyViewInto(now Time, u ViewUpdate, e *Effects) {
 
 	// Departed members can never use a grant or accept a return: drop
 	// their traps and forget a return address pointing at them.
-	n.sweepTraps(func(tr trapEntry) bool { return n.member(tr.requester) })
+	n.sweepTraps(func(tr trapEntry) bool { return n.member(int(tr.requester)) })
 	if n.returnTo != None && !n.member(n.returnTo) {
 		n.returnTo = None
 	}
@@ -79,28 +77,29 @@ func (n *Node) ApplyViewInto(now Time, u ViewUpdate, e *Effects) {
 func (n *Node) ViewEpoch() uint64 { return n.viewEpoch }
 
 // member reports whether a ring position is in the live view (every
-// position is, before any view is applied).
+// position is, before any view is applied). Out-of-range positions read as
+// non-members under a view (bitset.Get is range-checked).
 func (n *Node) member(id int) bool {
-	return n.live == nil || (id >= 0 && id < len(n.live) && n.live[id])
+	return n.live.Len() == 0 || n.live.Get(id)
 }
 
 // liveCount returns the number of live members (N before any view).
 func (n *Node) liveCount() int {
-	if n.live == nil {
+	if n.live.Len() == 0 {
 		return n.cfg.N
 	}
-	return n.liveN
+	return n.live.Count()
 }
 
 // nextLive returns the first live successor of id (id itself if the view
 // has collapsed to one member).
 func (n *Node) nextLive(id int) int {
-	if n.live == nil {
+	if n.live.Len() == 0 {
 		return n.rg.Next(id)
 	}
 	for k := 1; k <= n.cfg.N; k++ {
 		c := n.rg.Succ(id, k)
-		if n.live[c] {
+		if n.live.Get(c) {
 			return c
 		}
 	}
@@ -110,10 +109,10 @@ func (n *Node) nextLive(id int) int {
 // succLive returns the k-th live successor of id (negative k walks
 // predecessors), the live-ring analogue of ring.Succ.
 func (n *Node) succLive(id, k int) int {
-	if n.live == nil {
+	if n.live.Len() == 0 {
 		return n.rg.Succ(id, k)
 	}
-	if n.liveN == 0 {
+	if !n.live.Any() {
 		return id
 	}
 	step := 1
@@ -124,7 +123,7 @@ func (n *Node) succLive(id, k int) int {
 	for hopped := 0; hopped < k; hopped++ {
 		for j := 1; j <= n.cfg.N; j++ {
 			c := n.rg.Succ(cur, step*j)
-			if n.live[c] {
+			if n.live.Get(c) {
 				cur = c
 				break
 			}
@@ -139,7 +138,7 @@ func (n *Node) halfLive() int { return (n.liveCount() + 1) / 2 }
 // acrossLive is ring.Across over the live ring: the live member halfway
 // around from id.
 func (n *Node) acrossLive(id int) int {
-	if n.live == nil {
+	if n.live.Len() == 0 {
 		return n.rg.Across(id)
 	}
 	return n.succLive(id, n.halfLive())
@@ -148,13 +147,11 @@ func (n *Node) acrossLive(id int) int {
 // liveMin returns the lowest-numbered live member — the deterministic
 // regeneration coordinator of the current view.
 func (n *Node) liveMin() int {
-	if n.live == nil {
+	if n.live.Len() == 0 {
 		return 0
 	}
-	for i, ok := range n.live {
-		if ok {
-			return i
-		}
+	if i := n.live.Next(0); i >= 0 {
+		return i
 	}
 	return n.id
 }

@@ -1,7 +1,10 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"adaptivetoken/internal/driver"
 	"adaptivetoken/internal/faults"
@@ -48,6 +51,12 @@ type Config struct {
 	Observers []driver.Observer
 	// TrackFairness enables Theorem-3 possession tracking per shard.
 	TrackFairness bool
+	// Parallel is the worker-pool size RunAll/RunSplit fan the shards
+	// across. Shards share nothing — no state, no RNG, no event queue —
+	// so every pool size produces byte-identical per-shard results;
+	// values ≤ 1 run the shards inline in shard order (the sequential
+	// oracle the equivalence tests compare against). Capped at Shards.
+	Parallel int
 }
 
 // Cluster is K independent shard rings plus the router that partitions the
@@ -187,21 +196,71 @@ func (c *Cluster) Run(k int, reqs []workload.Request, maxTime sim.Time) (sim.Tim
 }
 
 // RunAll splits an aggregate workload and runs every shard to completion
-// sequentially, returning per-shard results summarized at each shard's own
-// end time.
+// across Config.Parallel workers, returning per-shard results summarized at
+// each shard's own end time.
 func (c *Cluster) RunAll(reqs []KeyedRequest, maxTime sim.Time) ([]driver.Result, error) {
-	per := c.Split(reqs)
+	return c.RunSplit(c.Split(reqs), maxTime)
+}
+
+// workers resolves the effective pool size for the shard count.
+func (c *Cluster) workers() int {
+	p := c.cfg.Parallel
+	if p > c.cfg.Shards {
+		p = c.cfg.Shards
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// RunSplit runs every shard's routed request list to completion and
+// assembles the outcome deterministically regardless of the pool size:
+// results land in shard order, only shards that completed cleanly are
+// summarized (a failed shard leaves a zero Result), the error aggregates
+// every failed shard via errors.Join — each already named "shard k:" by Run
+// — instead of first-error-wins, and the cross-shard Census runs only after
+// all workers have joined, over a quiescent cluster.
+func (c *Cluster) RunSplit(per [][]workload.Request, maxTime sim.Time) ([]driver.Result, error) {
+	if len(per) != c.cfg.Shards {
+		return nil, fmt.Errorf("shard: %d request lists for %d shards", len(per), c.cfg.Shards)
+	}
 	out := make([]driver.Result, c.cfg.Shards)
-	var firstErr error
-	for k := range c.runners {
+	errs := make([]error, c.cfg.Shards)
+	runOne := func(k int) {
 		end, err := c.Run(k, per[k], maxTime)
-		if err != nil && firstErr == nil {
-			firstErr = err
+		if err != nil {
+			errs[k] = err
+			return
 		}
 		out[k] = c.runners[k].Summarize(end)
 	}
-	if firstErr != nil {
-		return out, firstErr
+	if p := c.workers(); p <= 1 {
+		for k := range c.runners {
+			runOne(k)
+		}
+	} else {
+		// Workers pull shard indices from an atomic counter; each shard's
+		// driver, engine and metrics are touched by exactly one goroutine.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(p)
+		for w := 0; w < p; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					k := int(next.Add(1)) - 1
+					if k >= c.cfg.Shards {
+						return
+					}
+					runOne(k)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if err := errors.Join(errs...); err != nil {
+		return out, err
 	}
 	return out, c.Census()
 }

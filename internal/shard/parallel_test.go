@@ -1,0 +1,206 @@
+package shard
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"adaptivetoken/internal/driver"
+	"adaptivetoken/internal/faults"
+	"adaptivetoken/internal/protocol"
+)
+
+// stepDigest folds every observed step and fault event into an FNV-1a hash,
+// the same fold the driver's golden-trace suite pins refactors with. Two
+// runs with equal digests executed the same events in the same order with
+// the same payloads — a much stronger claim than equal summaries.
+type stepDigest struct{ h uint64 }
+
+func newStepDigest() *stepDigest { return &stepDigest{h: 0xcbf29ce484222325} }
+
+func (d *stepDigest) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		d.h ^= v & 0xff
+		d.h *= 0x100000001b3
+		v >>= 8
+	}
+}
+
+func (d *stepDigest) msg(m protocol.Message) {
+	d.u64(uint64(m.Kind))
+	d.u64(uint64(int64(m.From)))
+	d.u64(uint64(int64(m.To)))
+	d.u64(m.Round)
+	d.u64(uint64(int64(m.Requester)))
+	d.u64(m.ReqSeq)
+	d.u64(m.OriginStamp)
+	if m.HasToken {
+		d.u64(1)
+	}
+	d.u64(m.Epoch)
+}
+
+func (d *stepDigest) OnStep(s driver.Step) {
+	d.u64(0x51e9)
+	d.u64(uint64(s.At))
+	d.u64(uint64(s.Kind))
+	d.u64(uint64(int64(s.Node)))
+	if s.Msg != nil {
+		d.msg(*s.Msg)
+	}
+	if s.Effects.Granted {
+		d.u64(0x6a)
+	}
+	d.u64(uint64(len(s.Effects.Msgs)))
+	for _, m := range s.Effects.Msgs {
+		d.msg(m)
+	}
+}
+
+func (d *stepDigest) OnFault(f driver.FaultEvent) {
+	d.u64(0xfa17)
+	d.u64(uint64(f.At))
+	d.u64(uint64(f.Kind))
+	d.msg(f.Msg)
+}
+
+// runDigested runs a lossy multi-shard workload at the given pool size and
+// returns the per-shard results plus per-shard full-trace digests.
+func runDigested(t *testing.T, parallel int) ([]driver.Result, []uint64) {
+	t.Helper()
+	const shards, nodes, requests = 4, 8, 600
+	cfg := binsearchCfg(nodes)
+	cfg.ResearchTimeout = 150
+
+	digests := make([]*stepDigest, shards)
+	obs := make([]driver.Observer, shards)
+	for k := range digests {
+		digests[k] = newStepDigest()
+		obs[k] = digests[k]
+	}
+	c, err := NewCluster(Config{
+		Shards:    shards,
+		Nodes:     nodes,
+		Protocol:  cfg,
+		Seed:      17,
+		Plans:     ShardPlans(faults.Plan{Seed: 29, DropCheap: 0.15, DupCheap: 0.1}, shards, 0, 1, 2, 3),
+		Observers: obs,
+		Parallel:  parallel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunAll(TakeKeyed(17, shards*nodes, 10, requests), testMaxTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := make([]uint64, shards)
+	for k, d := range digests {
+		hs[k] = d.h
+	}
+	return res, hs
+}
+
+// TestRunAllParallelDigestEquivalence is the tentpole's byte-identity gate:
+// the same lossy sharded workload run sequentially (Parallel=1, the inline
+// shard-order oracle) and across a full worker pool must produce equal
+// per-shard results AND equal per-shard full-trace digests — every event,
+// every payload, in the same order.
+func TestRunAllParallelDigestEquivalence(t *testing.T) {
+	seqRes, seqDig := runDigested(t, 1)
+	parRes, parDig := runDigested(t, 4)
+	if !reflect.DeepEqual(parRes, seqRes) {
+		t.Fatalf("parallel results diverge from sequential:\npar %+v\nseq %+v", parRes, seqRes)
+	}
+	for k := range seqDig {
+		if parDig[k] != seqDig[k] {
+			t.Fatalf("shard %d trace digest diverges: par %#x seq %#x", k, parDig[k], seqDig[k])
+		}
+	}
+}
+
+// TestRunAllJoinedErrors plants unsafe token-duplicating faults in shards 0
+// and 3 of a 4-shard cluster: RunSplit must run every shard to its own
+// verdict, name both failed shards in one joined error, and leave a zero
+// Result in each failed slot while the clean shards' results survive.
+func TestRunAllJoinedErrors(t *testing.T) {
+	const shards, nodes, requests = 4, 8, 600
+	cfg := binsearchCfg(nodes)
+	cfg.ResearchTimeout = 150
+	c, err := NewCluster(Config{
+		Shards:   shards,
+		Nodes:    nodes,
+		Protocol: cfg,
+		Seed:     13,
+		Plans:    ShardPlans(faults.Plan{Seed: 31, Unsafe: true, DupToken: 0.5}, shards, 0, 3),
+		Parallel: shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunAll(TakeKeyed(13, shards*nodes, 10, requests), testMaxTime)
+	if err == nil {
+		t.Fatal("duplicated tokens in shards 0 and 3 not detected")
+	}
+	for _, want := range []string{"shard 0:", "shard 3:"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("joined error misses %q: %v", want, err)
+		}
+	}
+	var zero driver.Result
+	for _, k := range []int{0, 3} {
+		if !reflect.DeepEqual(res[k], zero) {
+			t.Fatalf("failed shard %d left a non-zero result: %+v", k, res[k])
+		}
+	}
+	for _, k := range []int{1, 2} {
+		if res[k].Grants == 0 {
+			t.Fatalf("clean shard %d lost its result to the failures", k)
+		}
+	}
+}
+
+// TestRunAllParallelRace drives the full worker pool over 8 shards; run
+// under -race it checks that the pool shares nothing but the atomic shard
+// counter and the per-slot result/error slices.
+func TestRunAllParallelRace(t *testing.T) {
+	const shards, nodes, requests = 8, 8, 1200
+	c, err := NewCluster(Config{
+		Shards:   shards,
+		Nodes:    nodes,
+		Protocol: binsearchCfg(nodes),
+		Seed:     23,
+		Parallel: shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunAll(TakeKeyed(23, shards*nodes, 10, requests), testMaxTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grants := 0
+	for _, r := range res {
+		grants += r.Grants
+	}
+	if grants == 0 {
+		t.Fatal("no grants across the pool")
+	}
+}
+
+// TestWorkersClamp pins the pool-size resolution: ≤0 and 1 are sequential,
+// values above the shard count cap at it.
+func TestWorkersClamp(t *testing.T) {
+	for _, tc := range []struct{ parallel, shards, want int }{
+		{0, 4, 1},
+		{-3, 4, 1},
+		{1, 4, 1},
+		{3, 4, 3},
+		{64, 4, 4},
+	} {
+		c := &Cluster{cfg: Config{Shards: tc.shards, Parallel: tc.parallel}}
+		if got := c.workers(); got != tc.want {
+			t.Fatalf("workers(parallel=%d, shards=%d) = %d, want %d", tc.parallel, tc.shards, got, tc.want)
+		}
+	}
+}

@@ -95,6 +95,11 @@ func runShard(sc Scenario, mix Mix, replay []faults.Schedule) Report {
 		Protocol: cfg,
 		Seed:     sc.Seed,
 		CSTime:   sim.Time(sc.CSTime),
+		// Torture always runs the full pool: shards are share-nothing, so
+		// the parallel path is byte-identical to sequential — and this way
+		// every sharded family (and every ddmin replay) exercises it under
+		// the race detector for free.
+		Parallel: mix.Shards,
 	}
 	var faulty []int
 	if mix.Faulty != nil {
@@ -140,19 +145,21 @@ func runShard(sc Scenario, mix Mix, replay []faults.Schedule) Report {
 		}
 	}
 
+	// RunSplit fans the shards across the pool and aggregates every failed
+	// shard's error (each named "shard k:") via errors.Join; the per-shard
+	// census runs only after all workers have joined. Grants are read after
+	// the join — failed shards still report the grants they made before
+	// tripping.
+	if _, err := c.RunSplit(per, sim.Time(sc.MaxTime)); err != nil {
+		rep.Err = err
+	}
 	for k := 0; k < mix.Shards; k++ {
-		if _, err := c.Run(k, per[k], sim.Time(sc.MaxTime)); err != nil && rep.Err == nil {
-			rep.Err = err
-		}
 		rep.Grants += c.Shard(k).Grants()
 	}
 	if replay == nil {
 		rep.Shards = c.Schedules()
 	} else {
 		rep.Shards = replay
-	}
-	if rep.Err == nil {
-		rep.Err = c.Census()
 	}
 	return rep
 }

@@ -34,7 +34,9 @@ type phase struct {
 	BytesPerEvent   float64 `json:"bytes_per_event"`
 	MallocsPerEvent float64 `json:"mallocs_per_event"`
 	Stats           struct {
-		SimEvents float64 `json:"sim_events"`
+		SimEvents    float64 `json:"sim_events"`
+		HeapPeak     float64 `json:"heap_peak"`
+		BytesPerNode float64 `json:"bytes_per_node"`
 	} `json:"stats"`
 }
 
@@ -89,6 +91,11 @@ var metrics = []metric{
 	{"mallocs", func(p *phase) float64 { return p.Mallocs }, true, false},
 	{"bytes_per_event", func(p *phase) float64 { return p.BytesPerEvent }, true, true},
 	{"mallocs_per_event", func(p *phase) float64 { return p.MallocsPerEvent }, true, true},
+	// Peak-heap metrics appear only in records written with memory
+	// observation on (fig9big passes); they are reported, not gated — the
+	// peak is a point sample of one run, noisier than the per-event rates.
+	{"heap_peak", func(p *phase) float64 { return p.Stats.HeapPeak }, true, false},
+	{"bytes_per_node", func(p *phase) float64 { return p.Stats.BytesPerNode }, true, false},
 }
 
 func main() {
