@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-mem bench-baseline bench-opt bench-wheel bench-shard bench-par vet check clean torture torture-shards fuzz smoke-live trace-demo
+.PHONY: build test race bench bench-mem bench-baseline bench-opt bench-wheel bench-shard bench-par bench-live vet check clean torture torture-shards fuzz smoke-live trace-demo
 
 build:
 	$(GO) build ./...
@@ -9,12 +9,16 @@ test:
 	$(GO) test ./...
 
 # Everything concurrent goes under the race detector: the experiment
-# fan-out, the wall-clock host (node runtimes + live clusters), and the
-# live torture scenarios. Equivalence tests prove the fan-out stays
-# deterministic; this proves it stays data-race free.
+# fan-out, the wall-clock host (node runtimes + live clusters), the live
+# torture scenarios, and the live-load stack (hardened transport, the
+# open-loop generator, the multi-process orchestrator, the scrape
+# parser). Equivalence tests prove the fan-out stays deterministic; this
+# proves it stays data-race free.
 race:
 	$(GO) test -race ./internal/bench/... ./internal/node/... \
 		./internal/core/... ./internal/torture/... ./internal/shard/... \
+		./internal/transport/... ./internal/loadgen/... \
+		./internal/orchestra/... ./internal/telemetry/... \
 		./cmd/tokensim/... ./cmd/ringnode/...
 
 vet:
@@ -102,12 +106,23 @@ bench-par: build
 	$(GO) run ./cmd/tokensim -shards 8 -requests 20000 -baseline -big \
 		-nodes 1000000 -benchjson BENCH_par.json
 
-# Live TCP smoke: boot three ringnode processes on loopback, each taking
-# the distributed lock once and publishing one totally ordered message,
-# then exit cleanly. Exercises the real transport end to end — the same
+# Live TCP smoke: boot a 2-shard 6-process ringnode cluster through the
+# orchestrator (cmd/ringload) under a short open-loop load window, probing
+# /healthz, the shard-labeled /metrics series and a live CPU profile while
+# traffic flows. Exercises the hardened transport end to end — the same
 # host layer the simulator drives, but on wall clocks and sockets.
 smoke-live: build
 	./scripts/smoke-live.sh
+
+# Regenerate BENCH_live.json: the live counterpart of the fig9
+# responsiveness experiments — a real 50-process, 2-ring cluster under
+# 20 s of synchronized open-loop Poisson load, every /metrics endpoint
+# scraped and the fleet's histograms merged into one p50/p95/p99 table.
+# Exit status is nonzero on guard violations, leaked timers or zero
+# completed sessions. See EXPERIMENTS.md ("Live fig9 on a local cluster").
+bench-live: build
+	$(GO) run ./cmd/ringload -n 50 -shards 2 -rate 4 -duration 20s \
+		-hold 1ms -out BENCH_live.json
 
 # Trace one fig9-style run and write trace.json: Chrome trace_event JSON
 # with request→grant spans, token hops and ready/in-flight counters. Open
@@ -127,6 +142,7 @@ fuzz:
 	$(GO) test -run XXX -fuzz FuzzTimingWheel -fuzztime 10s ./internal/sim/
 	$(GO) test -run XXX -fuzz FuzzPromEncoder -fuzztime 10s ./internal/telemetry/
 	$(GO) test -run XXX -fuzz FuzzShardRouter -fuzztime 10s ./internal/shard/
+	$(GO) test -run XXX -fuzz FuzzFrameCodec -fuzztime 10s ./internal/transport/
 
 check: build vet test race
 

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package main
+
+import "fmt"
+
+// fileGuard requires flock; on platforms without it the -load-guard flag
+// is rejected rather than silently weakening the check.
+type fileGuard struct{}
+
+func openGuard(path string) (*fileGuard, error) {
+	return nil, fmt.Errorf("flock guard unsupported on this platform")
+}
+
+func (g *fileGuard) TryEnter() bool { return true }
+func (g *fileGuard) Exit()          {}
+func (g *fileGuard) Close() error   { return nil }

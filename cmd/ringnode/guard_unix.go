@@ -1,0 +1,43 @@
+//go:build unix
+
+package main
+
+import (
+	"os"
+	"syscall"
+)
+
+// fileGuard is the live cross-process mutual-exclusion check: every node
+// process opens the same guard file, and a session holding the distributed
+// lock takes a non-blocking exclusive flock on it for the length of its
+// critical section. flock state lives in the kernel, keyed by the open
+// file description — so if two processes ever believe they are in their
+// critical sections at once, exactly one TryEnter fails, and that failure
+// is machine-checked evidence of a mutual-exclusion violation no log
+// scraping can fake. The in-simulator census checker has no reach across
+// process boundaries; this is its live counterpart.
+type fileGuard struct {
+	f *os.File
+}
+
+func openGuard(path string) (*fileGuard, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &fileGuard{f: f}, nil
+}
+
+// TryEnter takes the exclusive lock without blocking; false reports a
+// conflict (another process is inside its critical section).
+func (g *fileGuard) TryEnter() bool {
+	return syscall.Flock(int(g.f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB) == nil
+}
+
+// Exit releases the lock. Safe to call after a failed TryEnter: unlocking
+// an unheld flock is a no-op.
+func (g *fileGuard) Exit() {
+	syscall.Flock(int(g.f.Fd()), syscall.LOCK_UN)
+}
+
+func (g *fileGuard) Close() error { return g.f.Close() }

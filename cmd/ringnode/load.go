@@ -1,0 +1,228 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaptivetoken/internal/core"
+	"adaptivetoken/internal/loadgen"
+	"adaptivetoken/internal/telemetry"
+)
+
+// loadParams collects the -load* flag values.
+type loadParams struct {
+	id       int
+	addrs    []string
+	rate     float64
+	pattern  string
+	duration time.Duration
+	hold     time.Duration
+	timeout  time.Duration
+	settle   time.Duration
+	seed     uint64
+	guard    string
+	wait     bool // -wait-start: stdin-coordinated start/exit
+	opts     []core.Option
+}
+
+// loadDone is the machine-readable completion record printed as
+// "LOAD_DONE {json}" on stdout — the orchestrator's per-node summary.
+// Latency distributions travel via /metrics (scraped before "exit"), not
+// here: the histograms merge cluster-wide, the counts cross-check them.
+type loadDone struct {
+	Node        int   `json:"node"`
+	Issued      int64 `json:"issued"`
+	Completed   int64 `json:"completed"`
+	Errors      int64 `json:"errors"`
+	Shed        int64 `json:"shed"`
+	Late        int64 `json:"late"`
+	MaxInFlight int64 `json:"max_in_flight"`
+	Violations  int64 `json:"violations"`
+	LatencyP50  int64 `json:"latency_p50_ms"`
+	LatencyP99  int64 `json:"latency_p99_ms"`
+}
+
+// loadReporter publishes the load generator's state through the node's
+// /metrics endpoint (core.WithExtraMetrics). Counters are zero until the
+// run finishes; the orchestrator scrapes after LOAD_DONE, so it always
+// sees the final state.
+type loadReporter struct {
+	mu         sync.Mutex
+	rep        *loadgen.Report
+	violations atomic.Int64
+}
+
+func (lr *loadReporter) write(p *telemetry.PromWriter) {
+	lr.mu.Lock()
+	rep := lr.rep
+	lr.mu.Unlock()
+	var r loadgen.Report
+	if rep != nil {
+		r = *rep
+	}
+	p.Counter("adaptivetoken_load_sessions_total",
+		"Client sessions issued by the open-loop load generator.", float64(r.Issued))
+	p.Counter("adaptivetoken_load_completed_total",
+		"Client sessions that acquired, held and released the lock.", float64(r.Completed))
+	p.Counter("adaptivetoken_load_errors_total",
+		"Client sessions whose acquire failed.", float64(r.Errors))
+	p.Counter("adaptivetoken_load_shed_total",
+		"Arrivals shed at the in-flight cap.", float64(r.Shed))
+	p.Counter("adaptivetoken_load_late_total",
+		"Arrivals issued at least one unit behind schedule.", float64(r.Late))
+	p.Counter("adaptivetoken_load_guard_violations_total",
+		"Cross-process flock guard conflicts observed inside critical sections.",
+		float64(lr.violations.Load()))
+	p.Histogram("adaptivetoken_load_latency_ms",
+		"Scheduled-arrival to release latency of client sessions, milliseconds.", &r.Latency)
+	p.Histogram("adaptivetoken_load_acquire_ms",
+		"Scheduled-arrival to acquire latency of client sessions, milliseconds.", &r.Acquire)
+}
+
+// guardedLocker wraps the distributed mutex with the cross-process flock
+// guard: while a session believes it is inside the critical section, the
+// guard file must be exclusively flockable — a conflict means two
+// processes are in their critical sections at once, a live
+// mutual-exclusion (census) violation.
+type guardedLocker struct {
+	inner      loadgen.Locker
+	guard      *fileGuard
+	violations *atomic.Int64
+}
+
+func (g *guardedLocker) Lock(ctx context.Context) error {
+	if err := g.inner.Lock(ctx); err != nil {
+		return err
+	}
+	if !g.guard.TryEnter() {
+		g.violations.Add(1)
+	}
+	return nil
+}
+
+func (g *guardedLocker) Unlock() error {
+	g.guard.Exit()
+	return g.inner.Unlock()
+}
+
+// runLoad is the -load entry point: start the node, coordinate with the
+// orchestrator over stdin/stdout, generate the load, publish the outcome,
+// and fail loudly on guard violations or leaked timers.
+func runLoad(p loadParams) error {
+	lr := &loadReporter{}
+	opts := append(p.opts, core.WithExtraMetrics(lr.write))
+	ln, err := core.NewLiveNode(p.id, p.addrs, p.id == 0, opts...)
+	if err != nil {
+		return err
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			ln.Close()
+		}
+	}()
+	fmt.Printf("started %s (ring of %d, load mode)\n", ln, len(p.addrs))
+	if addr := ln.MetricsAddr(); addr != "" {
+		fmt.Printf("metrics at http://%s/metrics\n", addr)
+	}
+
+	var arrivals loadgen.Arrivals
+	switch p.pattern {
+	case "poisson", "":
+		arrivals = loadgen.Poisson{Rate: p.rate}
+	case "bursty":
+		// Same long-run rate, 10% duty cycle: 10× bursts for ~100ms
+		// separated by ~900ms silences.
+		arrivals = &loadgen.OnOff{OnRate: 10 * p.rate, MeanOn: 0.1, MeanOff: 0.9}
+	default:
+		return fmt.Errorf("unknown -load-pattern %q (poisson|bursty)", p.pattern)
+	}
+
+	stdin := bufio.NewScanner(os.Stdin)
+	if p.wait {
+		if !awaitLine(stdin, "start") {
+			return fmt.Errorf("stdin closed before start signal")
+		}
+	}
+
+	var lk loadgen.Locker = ln.Mutex
+	var guard *fileGuard
+	if p.guard != "" {
+		guard, err = openGuard(p.guard)
+		if err != nil {
+			return fmt.Errorf("-load-guard: %w", err)
+		}
+		defer guard.Close()
+		lk = &guardedLocker{inner: lk, guard: guard, violations: &lr.violations}
+	}
+
+	// Seed mixing: node i draws an independent stream; the cluster-wide
+	// superposition of per-node Poisson processes is again Poisson.
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		Arrivals:       arrivals,
+		Seed:           p.seed + uint64(p.id)*0x9e3779b97f4a7c15,
+		Duration:       p.duration,
+		Hold:           p.hold,
+		MaxInFlight:    64,
+		AcquireTimeout: p.timeout,
+	}, lk)
+	if err != nil {
+		return err
+	}
+	lr.mu.Lock()
+	lr.rep = rep
+	lr.mu.Unlock()
+
+	done := loadDone{
+		Node:        p.id,
+		Issued:      rep.Issued,
+		Completed:   rep.Completed,
+		Errors:      rep.Errors,
+		Shed:        rep.Shed,
+		Late:        rep.Late,
+		MaxInFlight: rep.MaxInFlight,
+		Violations:  lr.violations.Load(),
+		LatencyP50:  rep.Latency.Quantile(0.5),
+		LatencyP99:  rep.Latency.Quantile(0.99),
+	}
+	buf, _ := json.Marshal(done)
+	fmt.Printf("LOAD_DONE %s\n", buf)
+
+	if p.wait {
+		// Keep /metrics alive until the orchestrator scraped and says exit.
+		awaitLine(stdin, "exit")
+	} else if p.settle > 0 {
+		// Uncoordinated runs: linger so slower peers can finish their
+		// in-flight sessions against a complete ring before this node
+		// disappears.
+		time.Sleep(p.settle)
+	}
+	closed = true
+	if err := ln.Close(); err != nil {
+		return err
+	}
+	if n := ln.Runtime.PendingTimers(); n != 0 {
+		return fmt.Errorf("%d timers still armed after shutdown", n)
+	}
+	if v := lr.violations.Load(); v != 0 {
+		return fmt.Errorf("%d cross-process mutual-exclusion violations", v)
+	}
+	return nil
+}
+
+// awaitLine reads stdin until the expected line (or EOF — treated as the
+// signal, so manual runs without an orchestrator don't hang forever).
+func awaitLine(sc *bufio.Scanner, want string) bool {
+	for sc.Scan() {
+		if sc.Text() == want {
+			return true
+		}
+	}
+	return sc.Err() == nil && want == "exit" // bare EOF is an implicit exit, never an implicit start
+}

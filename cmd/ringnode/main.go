@@ -28,7 +28,9 @@ import (
 	"adaptivetoken/internal/core"
 	"adaptivetoken/internal/faults"
 	"adaptivetoken/internal/host"
+	"adaptivetoken/internal/protocol"
 	"adaptivetoken/internal/tobcast"
+	"adaptivetoken/internal/transport"
 )
 
 // traceObserver logs every state-machine step and injected fault of this
@@ -74,6 +76,19 @@ func run(args []string) error {
 		metrics = fs.String("metrics-addr", "", "serve /metrics, /healthz and /debug/pprof on this host:port (:0 picks a free port)")
 		shardID = fs.Int("shard", -1, "shard id label for metrics and traces when this ring is one shard of a sharded deployment (-1 = unsharded)")
 		faultsJ = fs.String("faults", "", "fault plan as JSON (e.g. '{\"seed\":7,\"drop_cheap\":0.2}'); pauses are simulation-only")
+
+		load        = fs.Bool("load", false, "run the open-loop client load generator instead of the demo workload")
+		loadRate    = fs.Float64("load-rate", 20, "mean client arrivals per second on this node")
+		loadPattern = fs.String("load-pattern", "poisson", "arrival process: poisson or bursty (on/off MMPP at the same long-run rate)")
+		loadDur     = fs.Duration("load-duration", 10*time.Second, "load window length")
+		loadHold    = fs.Duration("load-hold", 2*time.Millisecond, "critical-section hold per client session")
+		loadTimeout = fs.Duration("load-timeout", 30*time.Second, "per-session acquire timeout (0 = unbounded)")
+		loadSeed    = fs.Uint64("load-seed", 1, "arrival schedule seed (the node id is mixed in per node)")
+		loadGuard   = fs.String("load-guard", "", "shared flock guard file: live cross-process mutual-exclusion check")
+		waitStart   = fs.Bool("wait-start", false, "wait for 'start' on stdin before the load; print LOAD_DONE and wait for 'exit' after it")
+		tpQueue     = fs.Int("transport-queue", 0, "bounded per-peer outbound queue length (0 = transport default)")
+		tpPolicy    = fs.String("transport-policy", "", "transport backpressure policy: drop or block (empty = default)")
+		recovery    = fs.Int("recovery", 0, "token-loss recovery timeout in protocol time units (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,6 +114,38 @@ func run(args []string) error {
 	}
 	if *shardID >= 0 {
 		opts = append(opts, core.WithShard(*shardID))
+	}
+	if *tpQueue > 0 || *tpPolicy != "" {
+		var topts transport.Options
+		topts.QueueLen = *tpQueue
+		if *tpPolicy != "" {
+			pol, err := transport.ParsePolicy(*tpPolicy)
+			if err != nil {
+				return err
+			}
+			topts.Policy = pol
+		}
+		opts = append(opts, core.WithTransportOptions(topts))
+	}
+	if *recovery > 0 {
+		opts = append(opts, core.WithRecovery(protocol.Time(*recovery)))
+	}
+
+	if *load {
+		return runLoad(loadParams{
+			id:       *id,
+			addrs:    addrs,
+			rate:     *loadRate,
+			pattern:  *loadPattern,
+			duration: *loadDur,
+			hold:     *loadHold,
+			timeout:  *loadTimeout,
+			settle:   *wait,
+			seed:     *loadSeed,
+			guard:    *loadGuard,
+			wait:     *waitStart,
+			opts:     opts,
+		})
 	}
 
 	ln, err := core.NewLiveNode(*id, addrs, *id == 0, opts...)

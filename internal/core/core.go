@@ -41,6 +41,8 @@ type settings struct {
 	observer    host.Observer
 	metricsAddr string
 	shard       int
+	topts       *transport.Options
+	extra       func(*telemetry.PromWriter)
 }
 
 // WithVariant selects the protocol variant (default BinarySearch).
@@ -124,6 +126,22 @@ func WithShard(k int) Option {
 // the cluster or node. The actual address is available via MetricsAddr.
 func WithMetricsAddr(addr string) Option {
 	return func(s *settings) { s.metricsAddr = addr }
+}
+
+// WithExtraMetrics appends fn's series to the /metrics exposition after
+// the standard ones — how the client-load mode publishes its open-loop
+// latency histograms through the node's own observability endpoint.
+// Requires WithMetricsAddr.
+func WithExtraMetrics(fn func(*telemetry.PromWriter)) Option {
+	return func(s *settings) { s.extra = fn }
+}
+
+// WithTransportOptions tunes the live TCP transport: bounded per-peer
+// queue length, backpressure policy (drop cheap messages vs block the
+// sender), and reconnect backoff bounds. Only NewLiveNode uses a TCP
+// transport; in-process clusters ignore it.
+func WithTransportOptions(o transport.Options) Option {
+	return func(s *settings) { s.topts = &o }
 }
 
 // shardLabel renders the shard mark for the metrics exporter (empty when
@@ -218,7 +236,8 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 	}
 	c.runtimes[0].Bootstrap()
 	if s.metricsAddr != "" {
-		exp := &telemetry.Exporter{Tracer: tracer, Messages: c.msgCounts, Node: -1, Shard: s.shardLabel()}
+		exp := &telemetry.Exporter{Tracer: tracer, Messages: c.msgCounts, Node: -1,
+			Shard: s.shardLabel(), Extra: s.extra}
 		srv, err := telemetry.NewServer(s.metricsAddr, exp.WriteMetrics)
 		if err != nil {
 			c.Close()
@@ -386,7 +405,12 @@ func NewLiveNode(id int, addrs []string, bootstrap bool, opts ...Option) (*LiveN
 	if err != nil {
 		return nil, err
 	}
-	tcp, err := transport.NewTCP(id, addrs)
+	var tcp *transport.TCP
+	if s.topts != nil {
+		tcp, err = transport.NewTCP(id, addrs, *s.topts)
+	} else {
+		tcp, err = transport.NewTCP(id, addrs)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -416,7 +440,8 @@ func NewLiveNode(id int, addrs []string, bootstrap bool, opts ...Option) (*LiveN
 		rt.Bootstrap()
 	}
 	if s.metricsAddr != "" {
-		exp := &telemetry.Exporter{Tracer: tracer, Messages: rt.MsgStatsSorted, Node: id, Shard: s.shardLabel()}
+		exp := &telemetry.Exporter{Tracer: tracer, Messages: rt.MsgStatsSorted, Node: id,
+			Shard: s.shardLabel(), Transport: tcp.Stats, Extra: s.extra}
 		srv, err := telemetry.NewServer(s.metricsAddr, exp.WriteMetrics)
 		if err != nil {
 			ln.Close()
@@ -442,6 +467,10 @@ func (ln *LiveNode) MetricsAddr() string {
 
 // Addr returns the node's actual listen address.
 func (ln *LiveNode) Addr() string { return ln.transport.Addr() }
+
+// TransportStats snapshots the hardened TCP transport's counters (queue
+// depth, batching, drops, reconnects).
+func (ln *LiveNode) TransportStats() transport.Stats { return ln.transport.Stats() }
 
 // Close stops the node.
 func (ln *LiveNode) Close() error {

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStagedShutdownNoTimerLeak boots a large in-process cluster (the
+// wall-clock host at orchestrated scale), drives a little traffic, then
+// stops the nodes in staged waves — the orchestrator's shutdown pattern —
+// and asserts every runtime's armed-timer count reaches 0. This is the
+// in-process twin of cmd/ringload's per-process timer-leak check.
+func TestStagedShutdownNoTimerLeak(t *testing.T) {
+	const n = 60
+	const stage = 8
+	c, err := NewCluster(n, WithHoldIdle(1), WithTimeUnit(100*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// A few concurrent acquire/release rounds so hold, research and grant
+	// timers are genuinely armed across the ring when shutdown begins.
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+			defer cancel()
+			if err := c.Mutex(i * 7 % n).Lock(ctx); err != nil {
+				t.Errorf("lock %d: %v", i, err)
+				return
+			}
+			c.Mutex(i * 7 % n).Unlock()
+		}(i)
+	}
+	wg.Wait()
+
+	// Staged shutdown: waves of `stage` nodes, mid-traffic — later waves
+	// keep timing against already-dead peers, the scenario that historically
+	// wedges shutdowns.
+	for lo := 0; lo < n; lo += stage {
+		hi := lo + stage
+		if hi > n {
+			hi = n
+		}
+		var sw sync.WaitGroup
+		for i := lo; i < hi; i++ {
+			sw.Add(1)
+			go func(i int) {
+				defer sw.Done()
+				c.Runtime(i).Stop()
+			}(i)
+		}
+		done := make(chan struct{})
+		go func() { sw.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("shutdown wave [%d,%d) wedged", lo, hi)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if p := c.Runtime(i).PendingTimers(); p != 0 {
+			t.Fatalf("node %d: %d timers armed after staged shutdown", i, p)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package host
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adaptivetoken/internal/sim"
+)
+
+// TestWallClockZeroDelayNoLeak hammers AfterFunc with zero-delay timers:
+// every timer must either fire (and deregister itself) or be canceled by
+// Stop — Outstanding() must reach 0, never counting a fired timer forever.
+// Zero-delay timers fire on another goroutine possibly before AfterFunc's
+// caller resumes; the registration must not lose that race.
+func TestWallClockZeroDelayNoLeak(t *testing.T) {
+	var mu sync.Mutex
+	run := func(fn func()) {
+		mu.Lock()
+		defer mu.Unlock()
+		fn()
+	}
+	c := NewWallClock(time.Nanosecond, run)
+	var fired atomic.Int64
+	const timers = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < timers/4; i++ {
+				c.AfterFunc(0, func() { fired.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Outstanding() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("Outstanding()=%d never reached 0 (fired %d/%d)",
+				c.Outstanding(), fired.Load(), timers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Stop()
+	if n := c.Outstanding(); n != 0 {
+		t.Fatalf("Outstanding()=%d after Stop", n)
+	}
+}
+
+// TestWallClockStopRace races Stop against concurrent arming and firing:
+// whatever the interleaving, Outstanding() is 0 once Stop returns and no
+// timer entry survives.
+func TestWallClockStopRace(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		var mu sync.Mutex
+		c := NewWallClock(time.Nanosecond, func(fn func()) {
+			mu.Lock()
+			defer mu.Unlock()
+			fn()
+		})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.AfterFunc(sim.Time(i%3), func() {})
+			}
+		}()
+		time.Sleep(time.Duration(round%5) * 10 * time.Microsecond)
+		c.Stop()
+		wg.Wait()
+		if n := c.Outstanding(); n != 0 {
+			t.Fatalf("round %d: Outstanding()=%d after Stop", round, n)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"adaptivetoken/internal/core"
+	"adaptivetoken/internal/sim"
+)
+
+// TestScheduleDeterministic: one seed, one schedule — byte-for-byte; a
+// different seed diverges. This is what makes a 200-node cluster run
+// reproducible.
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := Config{Arrivals: Poisson{Rate: 100}, Seed: 7, Duration: time.Second}
+	a, err := Schedule(cfg, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Schedule(cfg, 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("offset %d: %v vs %v on identical seeds", i, a[i], b[i])
+		}
+	}
+	cfg.Seed = 8
+	c, _ := Schedule(cfg, 200)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("seed 7 and 8 produced identical schedules")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatalf("schedule not monotone at %d: %v < %v", i, a[i], a[i-1])
+		}
+	}
+}
+
+// TestPoissonMeanGap: the empirical mean inter-arrival gap of the Poisson
+// process matches 1/rate within a few percent over a long draw.
+func TestPoissonMeanGap(t *testing.T) {
+	rng := sim.NewRNG(42)
+	p := Poisson{Rate: 50}
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += p.NextGap(rng)
+	}
+	mean := sum / n
+	if math.Abs(mean-1.0/50)/(1.0/50) > 0.02 {
+		t.Fatalf("Poisson(50) mean gap %.5fs, want ~%.5fs", mean, 1.0/50)
+	}
+}
+
+// TestOnOffShape: the MMPP's long-run rate is OnRate·MeanOn/(MeanOn+MeanOff)
+// and its gap distribution is genuinely bimodal — tight within-burst gaps
+// plus off-period silences far longer than any Poisson(OnRate) gap would
+// plausibly be.
+func TestOnOffShape(t *testing.T) {
+	rng := sim.NewRNG(3)
+	b := &OnOff{OnRate: 200, MeanOn: 0.05, MeanOff: 0.45}
+	const n = 100000
+	sum, long := 0.0, 0
+	for i := 0; i < n; i++ {
+		g := b.NextGap(rng)
+		if g < 0 {
+			t.Fatalf("negative gap %v", g)
+		}
+		sum += g
+		if g > 0.1 { // 20× the within-burst mean: must straddle an off-period
+			long++
+		}
+	}
+	wantRate := 200 * 0.05 / (0.05 + 0.45) // 20/s
+	rate := n / sum
+	if math.Abs(rate-wantRate)/wantRate > 0.1 {
+		t.Fatalf("long-run rate %.2f/s, want ~%.0f/s", rate, wantRate)
+	}
+	if long == 0 {
+		t.Fatal("no off-period gaps observed: process is not bursty")
+	}
+	if long > n/5 {
+		t.Fatalf("%d/%d gaps straddle off-periods: bursts too short", long, n)
+	}
+}
+
+// fakeLocker acquires after a fixed latency; it never fails.
+type fakeLocker struct {
+	delay time.Duration
+	mu    sync.Mutex
+	held  int
+	peak  int
+}
+
+func (f *fakeLocker) Lock(ctx context.Context) error {
+	if f.delay > 0 {
+		select {
+		case <-time.After(f.delay):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	f.mu.Lock()
+	f.held++
+	if f.held > f.peak {
+		f.peak = f.held
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *fakeLocker) Unlock() error {
+	f.mu.Lock()
+	f.held--
+	f.mu.Unlock()
+	return nil
+}
+
+// TestRunOpenLoop drives a slow locker (20ms acquire) at 200/s: a closed
+// loop would cap throughput at 50/s, an open loop issues all ~60 arrivals
+// of the 300ms window concurrently. The in-flight high-water mark is the
+// witness that the loop never closed.
+func TestRunOpenLoop(t *testing.T) {
+	fl := &fakeLocker{delay: 20 * time.Millisecond}
+	rep, err := Run(context.Background(), Config{
+		Arrivals: Poisson{Rate: 200},
+		Seed:     1,
+		Duration: 300 * time.Millisecond,
+	}, fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Issued < 20 {
+		t.Fatalf("issued %d sessions in 300ms at 200/s", rep.Issued)
+	}
+	if rep.Completed != rep.Issued || rep.Errors != 0 || rep.Shed != 0 {
+		t.Fatalf("completed=%d issued=%d errors=%d shed=%d",
+			rep.Completed, rep.Issued, rep.Errors, rep.Shed)
+	}
+	if rep.MaxInFlight < 2 {
+		t.Fatalf("MaxInFlight=%d: generator closed the loop on a 20ms acquire", rep.MaxInFlight)
+	}
+	if got := rep.Latency.Count(); got != rep.Completed {
+		t.Fatalf("latency histogram has %d samples, want %d", got, rep.Completed)
+	}
+	if rep.Acquire.Count() != rep.Completed {
+		t.Fatalf("acquire histogram has %d samples, want %d", rep.Acquire.Count(), rep.Completed)
+	}
+	// 20ms floor on every acquire: p50 must be ≥ bucket of ~20 (unit 1ms).
+	if q := rep.Acquire.Quantile(0.5); q < 10 {
+		t.Fatalf("acquire p50=%d ms, want ≥ the 20ms service floor", q)
+	}
+}
+
+// TestRunShedsAtCap: with MaxInFlight 1 and a locker that parks forever,
+// every arrival after the first is shed — counted, not queued (queueing
+// would close the loop) and not silently lost.
+func TestRunShedsAtCap(t *testing.T) {
+	release := make(chan struct{})
+	fl := &blockingLocker{release: release}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan *Report, 1)
+	go func() {
+		rep, err := Run(ctx, Config{
+			Arrivals:    Poisson{Rate: 500},
+			Seed:        9,
+			Duration:    200 * time.Millisecond,
+			MaxInFlight: 1,
+		}, fl)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- rep
+	}()
+	time.Sleep(250 * time.Millisecond)
+	close(release)
+	rep := <-done
+	if rep == nil {
+		t.Fatal("no report")
+	}
+	if rep.Issued != 1 {
+		t.Fatalf("issued %d, want exactly the one in-flight slot", rep.Issued)
+	}
+	if rep.Shed == 0 {
+		t.Fatal("no arrivals shed at MaxInFlight=1 under a parked locker")
+	}
+}
+
+type blockingLocker struct{ release chan struct{} }
+
+func (b *blockingLocker) Lock(ctx context.Context) error {
+	select {
+	case <-b.release:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+func (b *blockingLocker) Unlock() error { return nil }
+
+// TestRunCancelDrains: canceling mid-schedule sheds the remaining arrivals
+// but still drains in-flight sessions before Run returns.
+func TestRunCancelDrains(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	fl := &fakeLocker{delay: 5 * time.Millisecond}
+	rep, err := Run(ctx, Config{
+		Arrivals: Poisson{Rate: 100},
+		Seed:     2,
+		Duration: 10 * time.Second, // schedule far outlives the context
+	}, fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.mu.Lock()
+	held := fl.held
+	fl.mu.Unlock()
+	if held != 0 {
+		t.Fatalf("%d sessions still holding after Run returned", held)
+	}
+	if rep.Completed+rep.Errors != rep.Issued {
+		t.Fatalf("issued=%d but completed=%d errors=%d: sessions lost",
+			rep.Issued, rep.Completed, rep.Errors)
+	}
+}
+
+// TestRunConfigErrors: bad configs fail loudly, not with a silent no-op run.
+func TestRunConfigErrors(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Duration: time.Second}, &fakeLocker{}); err == nil {
+		t.Fatal("nil arrival process accepted")
+	}
+	if _, err := Run(context.Background(), Config{Arrivals: Poisson{Rate: 1}}, &fakeLocker{}); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	bad := arrivalsFunc(func(*sim.RNG) float64 { return math.NaN() })
+	if _, err := Run(context.Background(), Config{Arrivals: bad, Duration: time.Second}, &fakeLocker{}); err == nil {
+		t.Fatal("NaN arrival offset accepted")
+	}
+}
+
+type arrivalsFunc func(*sim.RNG) float64
+
+func (f arrivalsFunc) NextGap(rng *sim.RNG) float64 { return f(rng) }
+
+// TestRunAgainstCluster is the end-to-end smoke: open-loop Poisson load on
+// one node of a real in-process ring, every session granted and released,
+// census intact afterwards.
+func TestRunAgainstCluster(t *testing.T) {
+	c, err := core.NewCluster(4, core.WithHoldIdle(1), core.WithTimeUnit(100*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rep, err := Run(context.Background(), Config{
+		Arrivals:    Poisson{Rate: 50},
+		Seed:        11,
+		Duration:    400 * time.Millisecond,
+		Hold:        time.Millisecond,
+		MaxInFlight: 1, // one mutex per node: serialize sessions on it
+	}, c.Mutex(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Issued == 0 {
+		t.Fatal("no sessions issued against the cluster")
+	}
+	if rep.Completed == 0 {
+		t.Fatal("no sessions completed against the cluster")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d acquire errors against a healthy cluster", rep.Errors)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatal("unexpected cancellation")
+	}
+}

@@ -161,3 +161,31 @@ func (h *Histogram) Merge(other *Histogram) {
 func (h *Histogram) Reset() {
 	*h = Histogram{}
 }
+
+// FromBuckets reconstructs a histogram from per-bucket (non-cumulative)
+// counts and the observation sum — the inverse of the Prometheus
+// exposition, which carries buckets and sum but not min/max. The exact
+// extrema are unrecoverable, so they are approximated by the tightest
+// bounds the occupied buckets allow (min at its bucket's lower edge, max
+// at its bucket's upper edge); quantiles keep their one-octave error bound
+// and merging reconstructed histograms stays exact bucket-for-bucket.
+func FromBuckets(counts []int64, sum int64) Histogram {
+	var h Histogram
+	for i, c := range counts {
+		if i >= HistBuckets || c <= 0 {
+			continue
+		}
+		h.counts[i] += c
+		h.count += c
+		if h.count == c { // first occupied bucket
+			if i == 0 {
+				h.min = 0
+			} else {
+				h.min = BucketUpper(i-1) + 1
+			}
+		}
+		h.max = BucketUpper(i)
+	}
+	h.sum = sum
+	return h
+}

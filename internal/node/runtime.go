@@ -136,10 +136,16 @@ func (r *Runtime) Start() {
 	go r.recvLoop()
 }
 
-// Stop shuts the runtime down: pending timers are canceled, the endpoint
-// closes, and the receive loop exits. Safe to call concurrently with
+// Stop shuts the runtime down: the endpoint closes, pending timers are
+// canceled, and the receive loop exits. Safe to call concurrently with
 // in-flight timer fires and Acquire.
+//
+// The endpoint closes before the runtime lock is taken: a dispatch
+// blocked inside Send by transport backpressure (a full bounded lane to
+// an unreachable peer) holds the lock, and only closing the endpoint
+// unblocks it — taking the lock first would deadlock the shutdown.
 func (r *Runtime) Stop() {
+	r.ep.Close()
 	r.mu.Lock()
 	if r.stopped {
 		r.mu.Unlock()
@@ -148,7 +154,6 @@ func (r *Runtime) Stop() {
 	r.stopped = true
 	r.mu.Unlock()
 	r.clock.Stop()
-	r.ep.Close()
 	if r.loopDone != nil {
 		<-r.loopDone
 	}

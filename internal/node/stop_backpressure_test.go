@@ -1,0 +1,71 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"adaptivetoken/internal/protocol"
+	"adaptivetoken/internal/transport"
+)
+
+// TestStopUnblocksBackpressuredSend pins the shutdown-liveness fix for the
+// hardened transport: a dispatch blocked inside Send by backpressure (full
+// bounded lane to an unreachable peer, block semantics) holds the runtime
+// lock; Stop must close the endpoint FIRST so the blocked send fails out
+// and the lock frees — taking the lock before closing the endpoint
+// deadlocks the shutdown and leaves Outstanding() timers armed forever.
+func TestStopUnblocksBackpressuredSend(t *testing.T) {
+	ep, err := transport.NewTCP(0, []string{"127.0.0.1:0", "127.0.0.1:1"},
+		transport.Options{QueueLen: 1, Policy: transport.PolicyBlock,
+			BackoffMin: time.Hour, BackoffMax: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := protocol.Config{Variant: protocol.BinarySearch, N: 2, HoldIdle: 2,
+		TrapGC: protocol.GCRotation, ResearchTimeout: 1000}
+	p, err := protocol.New(0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(p, ep, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+
+	// Saturate the lane to the dead peer: one envelope parks in the
+	// writer's hand (blocked dialing for an hour), one fills the queue.
+	env := transport.Envelope{To: 1, Proto: &protocol.Message{Kind: protocol.MsgToken, To: 1}}
+	for i := 0; i < 2; i++ {
+		if err := ep.Send(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Now block a send while holding the runtime lock — the shape every
+	// protocol dispatch has when the transport pushes back.
+	sendDone := make(chan struct{})
+	go rt.Inspect(func(*protocol.Node) {
+		defer close(sendDone)
+		ep.Send(env) // blocks until Stop closes the endpoint
+	})
+	time.Sleep(50 * time.Millisecond) // let the sender take the lock and block
+
+	stopDone := make(chan struct{})
+	go func() {
+		rt.Stop()
+		close(stopDone)
+	}()
+	select {
+	case <-stopDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Stop deadlocked behind a backpressured send")
+	}
+	select {
+	case <-sendDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("blocked send never unblocked")
+	}
+	if n := rt.PendingTimers(); n != 0 {
+		t.Fatalf("PendingTimers()=%d after Stop", n)
+	}
+}

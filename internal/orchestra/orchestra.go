@@ -1,0 +1,599 @@
+// Package orchestra launches and drives a real multi-process ringnode
+// cluster: it allocates ports, wires one or more rings, waits for every
+// node's /healthz, starts synchronized open-loop load over stdin
+// coordination, optionally crashes a node mid-run, scrapes every /metrics
+// endpoint, merges the fleet's histograms into cluster-wide distributions,
+// and shuts the processes down in staged waves.
+//
+// The contract with cmd/ringnode's -load mode:
+//
+//	stdin  "start\n"       begin generating load (after -wait-start)
+//	stdout "LOAD_DONE {…}" machine-readable per-node summary
+//	stdin  "exit\n"        shut down (the node holds /metrics open until then)
+//
+// Scraping happens between LOAD_DONE and exit, so every histogram is
+// final when read; mergeability of metrics.Histogram makes the cluster
+// aggregate exact bucket-for-bucket, the same arithmetic the simulator's
+// experiment tables use. A node's process exiting nonzero (leaked timers,
+// guard violations) fails the whole run — the orchestrator is a test
+// harness first and a benchmark runner second.
+package orchestra
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"adaptivetoken/internal/metrics"
+	"adaptivetoken/internal/telemetry"
+)
+
+// Config describes one orchestrated run.
+type Config struct {
+	// Bin is the ringnode binary path. Required.
+	Bin string
+	// Nodes is the total process count across all shards (≥2 per shard).
+	Nodes int
+	// Shards splits the nodes into this many independent rings (default 1).
+	// Shard s gets a contiguous block of nodes and its own guard file.
+	Shards int
+	// Rate is each node's mean client arrivals per second.
+	Rate float64
+	// Pattern selects the arrival process: "poisson" (default) or "bursty".
+	Pattern string
+	// Duration is the load window.
+	Duration time.Duration
+	// Hold is the per-session critical-section time.
+	Hold time.Duration
+	// Seed drives every node's arrival schedule (node id mixed in).
+	Seed uint64
+	// GuardDir hosts the per-shard flock guard files ("" = temp dir).
+	GuardDir string
+	// TransportPolicy / TransportQueue forward to -transport-policy/-queue
+	// when non-zero.
+	TransportPolicy string
+	TransportQueue  int
+	// Crash enables the crash-a-node hook: SIGKILL CrashNode CrashAfter
+	// into the load window. Recovery should be set alongside, or the
+	// victim's ring stalls until the run deadline.
+	Crash      bool
+	CrashNode  int
+	CrashAfter time.Duration
+	// Recovery forwards -recovery (protocol time units) when > 0.
+	Recovery int
+	// StageSize is the staged-shutdown wave width (default 8).
+	StageSize int
+	// ReadyTimeout bounds the /healthz wait (default 30s).
+	ReadyTimeout time.Duration
+	// Manifest, when non-empty, receives a JSON description of the running
+	// cluster (ids, shards, ring and metrics addresses) as soon as every
+	// node is ready — the hook external probes (the smoke script) use to
+	// find the endpoints while the cluster is live.
+	Manifest string
+	// Log receives progress lines (nil = silent).
+	Log io.Writer
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Bin == "" {
+		return c, fmt.Errorf("orchestra: no ringnode binary")
+	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
+	if c.Nodes < 2*c.Shards {
+		return c, fmt.Errorf("orchestra: %d nodes cannot form %d rings of ≥2", c.Nodes, c.Shards)
+	}
+	if c.Rate <= 0 {
+		c.Rate = 20
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Hold < 0 {
+		return c, fmt.Errorf("orchestra: negative hold")
+	}
+	if c.StageSize <= 0 {
+		c.StageSize = 8
+	}
+	if c.ReadyTimeout <= 0 {
+		c.ReadyTimeout = 30 * time.Second
+	}
+	if c.Crash && (c.CrashNode < 0 || c.CrashNode >= c.Nodes) {
+		return c, fmt.Errorf("orchestra: crash node %d out of range", c.CrashNode)
+	}
+	return c, nil
+}
+
+// NodeResult is one process's outcome.
+type NodeResult struct {
+	ID      int    `json:"id"`    // global index
+	Shard   int    `json:"shard"` // ring this node belongs to
+	RingID  int    `json:"ring_id"`
+	Addr    string `json:"addr"`
+	Metrics string `json:"metrics"`
+
+	Crashed     bool   `json:"crashed,omitempty"`
+	ExitError   string `json:"exit_error,omitempty"`
+	Issued      int64  `json:"issued"`
+	Completed   int64  `json:"completed"`
+	Errors      int64  `json:"errors"`
+	Shed        int64  `json:"shed"`
+	Late        int64  `json:"late"`
+	MaxInFlight int64  `json:"max_in_flight"`
+	Violations  int64  `json:"violations"`
+}
+
+// Result aggregates the whole run.
+type Result struct {
+	Nodes  []NodeResult `json:"nodes"`
+	Shards int          `json:"shards"`
+
+	// Cluster-wide merged distributions (milliseconds / time units).
+	Latency metrics.Histogram `json:"-"`
+	Acquire metrics.Histogram `json:"-"`
+	Resp    metrics.Histogram `json:"-"`
+
+	Issued     int64 `json:"issued"`
+	Completed  int64 `json:"completed"`
+	Errors     int64 `json:"errors"`
+	Violations int64 `json:"violations"`
+	Grants     int64 `json:"grants"`
+
+	Msgs      map[string]int64 `json:"messages"`
+	Transport TransportTotals  `json:"transport"`
+
+	Wall time.Duration `json:"wall_ns"`
+}
+
+// TransportTotals sums the hardened-transport counters across the fleet.
+type TransportTotals struct {
+	Frames              int64 `json:"frames"`
+	Flushes             int64 `json:"flushes"`
+	BatchedWrites       int64 `json:"batched_writes"`
+	DroppedBackpressure int64 `json:"dropped_backpressure"`
+	DroppedWriteError   int64 `json:"dropped_write_error"`
+	Reconnects          int64 `json:"reconnects"`
+	DialRetries         int64 `json:"dial_retries"`
+}
+
+// proc is one managed ringnode process.
+type proc struct {
+	NodeResult
+	cmd     *exec.Cmd
+	stdin   io.WriteCloser
+	done    chan loadDone // LOAD_DONE record, closed without send on EOF
+	waitErr chan error
+}
+
+// loadDone mirrors cmd/ringnode's LOAD_DONE JSON.
+type loadDone struct {
+	Node        int   `json:"node"`
+	Issued      int64 `json:"issued"`
+	Completed   int64 `json:"completed"`
+	Errors      int64 `json:"errors"`
+	Shed        int64 `json:"shed"`
+	Late        int64 `json:"late"`
+	MaxInFlight int64 `json:"max_in_flight"`
+	Violations  int64 `json:"violations"`
+}
+
+// Run executes one orchestrated cluster run.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	logf := func(format string, args ...any) {
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, format+"\n", args...)
+		}
+	}
+
+	guardDir := cfg.GuardDir
+	if guardDir == "" {
+		guardDir, err = os.MkdirTemp("", "ringload-guard-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(guardDir)
+	}
+
+	// Reserve two ports per node (ring + metrics) by binding :0 listeners
+	// and closing them just before spawn: the kernel hands out distinct
+	// ports, and the window for another process to steal one is tiny and
+	// caught immediately by the node failing to bind.
+	ports, err := reservePorts(2 * cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+
+	shardOf, ringID, peerLists := layout(cfg.Nodes, cfg.Shards, ports)
+
+	procs := make([]*proc, cfg.Nodes)
+	defer func() {
+		for _, p := range procs {
+			if p != nil && p.cmd.Process != nil {
+				p.cmd.Process.Kill()
+			}
+		}
+	}()
+	for i := 0; i < cfg.Nodes; i++ {
+		s := shardOf[i]
+		p := &proc{
+			NodeResult: NodeResult{
+				ID: i, Shard: s, RingID: ringID[i],
+				Addr:    fmt.Sprintf("127.0.0.1:%d", ports[2*i]),
+				Metrics: fmt.Sprintf("127.0.0.1:%d", ports[2*i+1]),
+			},
+			done:    make(chan loadDone, 1),
+			waitErr: make(chan error, 1),
+		}
+		args := []string{
+			"-id", strconv.Itoa(ringID[i]),
+			"-peers", strings.Join(peerLists[s], ","),
+			"-metrics-addr", p.Metrics,
+			"-load", "-wait-start",
+			"-load-rate", strconv.FormatFloat(cfg.Rate, 'g', -1, 64),
+			"-load-duration", cfg.Duration.String(),
+			"-load-hold", cfg.Hold.String(),
+			"-load-seed", strconv.FormatUint(cfg.Seed+uint64(s)*1000, 10),
+			"-load-guard", filepath.Join(guardDir, fmt.Sprintf("guard-%d", s)),
+		}
+		if cfg.Pattern != "" {
+			args = append(args, "-load-pattern", cfg.Pattern)
+		}
+		if cfg.Shards > 1 {
+			args = append(args, "-shard", strconv.Itoa(s))
+		}
+		if cfg.TransportPolicy != "" {
+			args = append(args, "-transport-policy", cfg.TransportPolicy)
+		}
+		if cfg.TransportQueue > 0 {
+			args = append(args, "-transport-queue", strconv.Itoa(cfg.TransportQueue))
+		}
+		if cfg.Recovery > 0 {
+			args = append(args, "-recovery", strconv.Itoa(cfg.Recovery))
+		}
+		cmd := exec.CommandContext(ctx, cfg.Bin, args...)
+		cmd.Stderr = cfg.Log
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return nil, err
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("orchestra: node %d: %w", i, err)
+		}
+		p.cmd, p.stdin = cmd, stdin
+		go watchStdout(stdout, p.done, cfg.Log, i)
+		go func(p *proc) { p.waitErr <- p.cmd.Wait() }(p)
+		procs[i] = p
+	}
+	logf("orchestra: launched %d nodes across %d ring(s)", cfg.Nodes, cfg.Shards)
+
+	// Readiness: every /healthz must answer before load starts.
+	if err := awaitHealthy(ctx, procs, cfg.ReadyTimeout); err != nil {
+		return nil, err
+	}
+	logf("orchestra: all nodes healthy in %v", time.Since(start).Round(time.Millisecond))
+
+	if cfg.Manifest != "" {
+		if err := writeManifest(cfg.Manifest, procs, cfg.Shards); err != nil {
+			return nil, err
+		}
+	}
+
+	// Synchronized start.
+	for _, p := range procs {
+		if _, err := io.WriteString(p.stdin, "start\n"); err != nil {
+			return nil, fmt.Errorf("orchestra: start node %d: %w", p.ID, err)
+		}
+	}
+
+	// Crash hook: SIGKILL one node mid-window.
+	if cfg.Crash {
+		go func() {
+			select {
+			case <-time.After(cfg.CrashAfter):
+				p := procs[cfg.CrashNode]
+				p.cmd.Process.Kill()
+				logf("orchestra: crashed node %d (%s) after %v", p.ID, p.Addr, cfg.CrashAfter)
+			case <-ctx.Done():
+			}
+		}()
+	}
+
+	// Collect LOAD_DONE from every surviving node. Generous deadline: the
+	// window plus time for stragglers to drain through recovery timeouts.
+	collectDeadline := cfg.Duration + 90*time.Second
+	res := &Result{Shards: cfg.Shards, Msgs: make(map[string]int64)}
+	for _, p := range procs {
+		if cfg.Crash && cfg.CrashNode == p.ID {
+			p.Crashed = true
+			<-p.waitErr // reap
+			continue
+		}
+		select {
+		case d, ok := <-p.done:
+			if !ok {
+				p.ExitError = "exited before LOAD_DONE"
+				break
+			}
+			p.Issued, p.Completed, p.Errors = d.Issued, d.Completed, d.Errors
+			p.Shed, p.Late, p.MaxInFlight = d.Shed, d.Late, d.MaxInFlight
+			p.Violations = d.Violations
+		case <-time.After(collectDeadline):
+			p.ExitError = "LOAD_DONE timeout"
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	logf("orchestra: load complete in %v, scraping %d endpoints",
+		time.Since(start).Round(time.Millisecond), cfg.Nodes)
+
+	// Scrape every surviving node's /metrics and merge.
+	for _, p := range procs {
+		if p.Crashed || p.ExitError != "" {
+			continue
+		}
+		if err := scrapeInto(p, res); err != nil {
+			p.ExitError = fmt.Sprintf("scrape: %v", err)
+		}
+	}
+
+	// Staged shutdown: "exit" in waves, each wave fully reaped before the
+	// next — the pattern that historically exposes timer leaks, because
+	// later waves keep timing against already-gone peers.
+	for lo := 0; lo < len(procs); lo += cfg.StageSize {
+		hi := lo + cfg.StageSize
+		if hi > len(procs) {
+			hi = len(procs)
+		}
+		var wg sync.WaitGroup
+		for _, p := range procs[lo:hi] {
+			if p.Crashed {
+				continue
+			}
+			io.WriteString(p.stdin, "exit\n")
+			p.stdin.Close()
+			wg.Add(1)
+			go func(p *proc) {
+				defer wg.Done()
+				select {
+				case err := <-p.waitErr:
+					if err != nil && p.ExitError == "" {
+						p.ExitError = err.Error()
+					}
+				case <-time.After(30 * time.Second):
+					p.ExitError = "shutdown wedged"
+					p.cmd.Process.Kill()
+				}
+			}(p)
+		}
+		wg.Wait()
+		logf("orchestra: shutdown wave [%d,%d) done", lo, hi)
+	}
+
+	// Fold per-node outcomes.
+	for _, p := range procs {
+		res.Nodes = append(res.Nodes, p.NodeResult)
+		res.Issued += p.Issued
+		res.Completed += p.Completed
+		res.Errors += p.Errors
+		res.Violations += p.Violations
+	}
+	res.Wall = time.Since(start)
+
+	// Failures: any non-crashed node that errored out fails the run.
+	for _, n := range res.Nodes {
+		if !n.Crashed && n.ExitError != "" {
+			return res, fmt.Errorf("orchestra: node %d: %s", n.ID, n.ExitError)
+		}
+	}
+	if res.Violations > 0 {
+		return res, fmt.Errorf("orchestra: %d cross-process mutual-exclusion violations", res.Violations)
+	}
+	if res.Completed == 0 {
+		return res, fmt.Errorf("orchestra: zero sessions completed")
+	}
+	return res, nil
+}
+
+// layout assigns nodes to shards in contiguous blocks and builds each
+// ring's peer list. Returns shard index, ring-local id, and per-shard peer
+// address lists.
+func layout(nodes, shards int, ports []int) (shardOf, ringID []int, peers [][]string) {
+	shardOf = make([]int, nodes)
+	ringID = make([]int, nodes)
+	peers = make([][]string, shards)
+	base, rem := nodes/shards, nodes%shards
+	g := 0
+	for s := 0; s < shards; s++ {
+		size := base
+		if s < rem {
+			size++
+		}
+		for r := 0; r < size; r++ {
+			shardOf[g] = s
+			ringID[g] = r
+			peers[s] = append(peers[s], fmt.Sprintf("127.0.0.1:%d", ports[2*g]))
+			g++
+		}
+	}
+	return shardOf, ringID, peers
+}
+
+// reservePorts binds n ephemeral listeners, records their ports, and
+// closes them all.
+func reservePorts(n int) ([]int, error) {
+	ls := make([]net.Listener, 0, n)
+	defer func() {
+		for _, l := range ls {
+			l.Close()
+		}
+	}()
+	ports := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		ls = append(ls, l)
+		ports = append(ports, l.Addr().(*net.TCPAddr).Port)
+	}
+	return ports, nil
+}
+
+// watchStdout scans a node's stdout for the LOAD_DONE record, forwarding
+// everything else to the log.
+func watchStdout(r io.Reader, done chan<- loadDone, log io.Writer, id int) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	sent := false
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "LOAD_DONE ") {
+			if log != nil {
+				fmt.Fprintf(log, "[node %d] %s\n", id, line)
+			}
+			continue
+		}
+		var d loadDone
+		if err := json.Unmarshal([]byte(line[len("LOAD_DONE "):]), &d); err == nil && !sent {
+			done <- d
+			sent = true
+		}
+	}
+	if !sent {
+		close(done)
+	}
+}
+
+// awaitHealthy polls every node's /healthz until all answer ok.
+func awaitHealthy(ctx context.Context, procs []*proc, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	client := &http.Client{Timeout: 2 * time.Second}
+	for _, p := range procs {
+		for {
+			ok := func() bool {
+				resp, err := client.Get("http://" + p.Metrics + "/healthz")
+				if err != nil {
+					return false
+				}
+				defer resp.Body.Close()
+				io.Copy(io.Discard, resp.Body)
+				return resp.StatusCode == http.StatusOK
+			}()
+			if ok {
+				break
+			}
+			select {
+			case err := <-p.waitErr:
+				p.waitErr <- err
+				return fmt.Errorf("orchestra: node %d died before becoming healthy", p.ID)
+			default:
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("orchestra: node %d (%s) not healthy after %v", p.ID, p.Metrics, timeout)
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(100 * time.Millisecond):
+			}
+		}
+	}
+	return nil
+}
+
+// scrapeInto pulls one node's /metrics and merges it into the aggregate.
+func scrapeInto(p *proc, res *Result) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get("http://" + p.Metrics + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	s, err := telemetry.ParseProm(resp.Body)
+	if err != nil {
+		return err
+	}
+	if h, ok := s.Histogram("adaptivetoken_load_latency_ms"); ok {
+		res.Latency.Merge(&h)
+	}
+	if h, ok := s.Histogram("adaptivetoken_load_acquire_ms"); ok {
+		res.Acquire.Merge(&h)
+	}
+	if h, ok := s.Histogram("adaptivetoken_responsiveness_time_units"); ok {
+		res.Resp.Merge(&h)
+	}
+	if v, ok := s.Value("adaptivetoken_grants_total"); ok {
+		res.Grants += int64(v)
+	}
+	for kind, v := range s.Kinds("adaptivetoken_messages_total", "kind") {
+		if v != 0 {
+			res.Msgs[kind] += int64(v)
+		}
+	}
+	t := &res.Transport
+	for _, c := range []struct {
+		name string
+		dst  *int64
+	}{
+		{"adaptivetoken_transport_frames_total", &t.Frames},
+		{"adaptivetoken_transport_flushes_total", &t.Flushes},
+		{"adaptivetoken_transport_batched_writes_total", &t.BatchedWrites},
+		{"adaptivetoken_transport_dropped_backpressure_total", &t.DroppedBackpressure},
+		{"adaptivetoken_transport_dropped_write_error_total", &t.DroppedWriteError},
+		{"adaptivetoken_transport_reconnects_total", &t.Reconnects},
+		{"adaptivetoken_transport_dial_retries_total", &t.DialRetries},
+	} {
+		if v, ok := s.Value(c.name); ok {
+			*c.dst += int64(v)
+		}
+	}
+	return nil
+}
+
+// writeManifest publishes the live cluster's endpoints.
+func writeManifest(path string, procs []*proc, shards int) error {
+	type entry struct {
+		ID      int    `json:"id"`
+		Shard   int    `json:"shard"`
+		RingID  int    `json:"ring_id"`
+		Addr    string `json:"addr"`
+		Metrics string `json:"metrics"`
+	}
+	m := struct {
+		Shards int     `json:"shards"`
+		Nodes  []entry `json:"nodes"`
+	}{Shards: shards}
+	for _, p := range procs {
+		m.Nodes = append(m.Nodes, entry{p.ID, p.Shard, p.RingID, p.Addr, p.Metrics})
+	}
+	buf, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"adaptivetoken/internal/metrics"
+	"adaptivetoken/internal/transport"
 )
 
 // Exporter renders one process's observability state as Prometheus text:
@@ -29,6 +30,16 @@ type Exporter struct {
 	// Start anchors the uptime gauge; zero means "when the exporter was
 	// first scraped".
 	Start time.Time
+	// Transport returns the hardened TCP endpoint's counter snapshot;
+	// called once per scrape. Optional — the transport series are emitted
+	// at zero when nil (zero-overlay: in-process channel clusters expose
+	// the same schema as TCP deployments, so one scrape config and one
+	// dashboard cover both).
+	Transport func() transport.Stats
+	// Extra, when set, appends arbitrary additional series after the
+	// standard ones — the hook the client-load mode uses for its latency
+	// histograms and session counters.
+	Extra func(*PromWriter)
 }
 
 // WriteMetrics encodes the current state onto p. It has the signature
@@ -76,6 +87,38 @@ func (e *Exporter) WriteMetrics(p *PromWriter) {
 		hops := tr.HopsHist()
 		p.Histogram("adaptivetoken_token_forwards_per_grant",
 			"Token-bearing message deliveries between consecutive grants.", &hops, sl...)
+	}
+
+	var ts transport.Stats
+	if e.Transport != nil {
+		ts = e.Transport()
+	}
+	p.Gauge("adaptivetoken_transport_queue_depth",
+		"Envelopes sitting in bounded per-peer outbound queues right now.",
+		float64(ts.QueueDepth), sl...)
+	p.Counter("adaptivetoken_transport_enqueued_total",
+		"Envelopes accepted into outbound queues.", float64(ts.Enqueued), sl...)
+	p.Counter("adaptivetoken_transport_frames_total",
+		"Frames written to peer sockets.", float64(ts.Frames), sl...)
+	p.Counter("adaptivetoken_transport_flushes_total",
+		"Socket writes (each flushing one batch of frames).", float64(ts.Flushes), sl...)
+	p.Counter("adaptivetoken_transport_batched_writes_total",
+		"Socket writes that carried more than one frame.", float64(ts.BatchedWrites), sl...)
+	p.Counter("adaptivetoken_transport_dropped_backpressure_total",
+		"Cheap envelopes dropped at a full bounded queue (drop policy).",
+		float64(ts.DroppedBackpressure), sl...)
+	p.Counter("adaptivetoken_transport_dropped_write_error_total",
+		"Envelopes discarded when a peer connection broke mid-batch (at-most-once).",
+		float64(ts.DroppedWriteError), sl...)
+	p.Counter("adaptivetoken_transport_reconnects_total",
+		"Peer connections re-established after a write or read failure.",
+		float64(ts.Reconnects), sl...)
+	p.Counter("adaptivetoken_transport_dial_retries_total",
+		"Failed dial attempts retried with jittered backoff.",
+		float64(ts.DialRetries), sl...)
+
+	if e.Extra != nil {
+		e.Extra(p)
 	}
 }
 

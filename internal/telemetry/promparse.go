@@ -1,0 +1,252 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/bits"
+	"strconv"
+	"strings"
+
+	"adaptivetoken/internal/metrics"
+)
+
+// Scrape is a parsed Prometheus text exposition — the read side of
+// PromWriter, used by the cluster orchestrator to pull every node's
+// /metrics and merge the fleet into one view. The parser accepts the
+// subset of the 0.0.4 text format PromWriter emits (plus arbitrary label
+// orders and comment lines), which is also the subset any conformant
+// scraper would produce for these series.
+type Scrape struct {
+	samples []PromSample
+}
+
+// PromSample is one exposition line: name, labels (le included, when
+// present), value.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParseProm reads a text exposition. Comment and blank lines are skipped;
+// a malformed sample line is an error (a scrape that half-parses would
+// silently undercount the cluster).
+func ParseProm(r io.Reader) (*Scrape, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	s := &Scrape{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		smp, err := parseSample(line)
+		if err != nil {
+			return nil, err
+		}
+		s.samples = append(s.samples, smp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func parseSample(line string) (PromSample, error) {
+	smp := PromSample{}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return smp, fmt.Errorf("telemetry: malformed sample %q", line)
+	} else {
+		smp.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return smp, fmt.Errorf("telemetry: unterminated labels in %q", line)
+		}
+		labels, err := parseLabels(rest[1:end])
+		if err != nil {
+			return smp, fmt.Errorf("telemetry: %w in %q", err, line)
+		}
+		smp.Labels = labels
+		rest = rest[end+1:]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return smp, fmt.Errorf("telemetry: bad value in %q: %w", line, err)
+	}
+	smp.Value = v
+	return smp, nil
+}
+
+// parseLabels splits `k1="v1",k2="v2"`. Escapes (\\, \", \n) in values are
+// unescaped; label values produced by PromWriter never contain a raw
+// comma-quote ambiguity, and the quote scan below handles embedded commas
+// inside quoted values correctly anyway.
+func parseLabels(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '='")
+		}
+		key := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, fmt.Errorf("unquoted label value")
+		}
+		s = s[1:]
+		var sb strings.Builder
+		i := 0
+		for ; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					sb.WriteByte('\n')
+				default:
+					sb.WriteByte(s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			sb.WriteByte(c)
+		}
+		if i >= len(s) {
+			return nil, fmt.Errorf("unterminated label value")
+		}
+		out[key] = sb.String()
+		s = strings.TrimPrefix(strings.TrimSpace(s[i+1:]), ",")
+		s = strings.TrimSpace(s)
+	}
+	return out, nil
+}
+
+// Value returns the sum of every sample of name whose labels include all
+// of want (exact match per key; samples may carry extra labels, e.g.
+// shard). The bool reports whether any sample matched.
+func (s *Scrape) Value(name string, want ...Label) (float64, bool) {
+	total, found := 0.0, false
+	for _, smp := range s.samples {
+		if smp.Name != name || !labelsMatch(smp.Labels, want) {
+			continue
+		}
+		total += smp.Value
+		found = true
+	}
+	return total, found
+}
+
+// Kinds collects a CounterVec back into kind→value, summing across any
+// other labels.
+func (s *Scrape) Kinds(name, labelKey string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, smp := range s.samples {
+		if smp.Name != name {
+			continue
+		}
+		if k, ok := smp.Labels[labelKey]; ok {
+			out[k] += smp.Value
+		}
+	}
+	return out
+}
+
+// Histogram reconstructs a metrics.Histogram from name's _bucket/_sum
+// exposition, summing across label sets (one scrape may carry several
+// shards). Buckets invert PromWriter.Histogram exactly: an le bound of
+// 2^i−1 is log₂ bucket i, cumulative counts are de-cumulated per label
+// set, and +Inf closes each set. The bool reports whether the series was
+// present.
+func (s *Scrape) Histogram(name string) (metrics.Histogram, bool) {
+	type acc struct {
+		counts [metrics.HistBuckets]int64
+		prev   int64
+	}
+	sets := make(map[string]*acc)
+	found := false
+	// PromWriter emits buckets in ascending le order per label set; scan in
+	// order and de-cumulate within each set.
+	for _, smp := range s.samples {
+		if smp.Name != name+"_bucket" {
+			continue
+		}
+		found = true
+		le := smp.Labels["le"]
+		key := labelKeyExcept(smp.Labels, "le")
+		a := sets[key]
+		if a == nil {
+			a = &acc{}
+			sets[key] = a
+		}
+		if le == "+Inf" {
+			continue // total; everything below +Inf is already accounted
+		}
+		bound, err := strconv.ParseInt(le, 10, 64)
+		if err != nil || bound < 0 {
+			continue
+		}
+		idx := bits.Len64(uint64(bound)) // 2^i−1 has bit length i
+		if idx >= metrics.HistBuckets {
+			continue
+		}
+		c := int64(smp.Value) - a.prev
+		a.prev = int64(smp.Value)
+		if c > 0 {
+			a.counts[idx] += c
+		}
+	}
+	if !found {
+		return metrics.Histogram{}, false
+	}
+	var total [metrics.HistBuckets]int64
+	for _, a := range sets {
+		for i, c := range a.counts {
+			total[i] += c
+		}
+	}
+	sum, _ := s.Value(name + "_sum")
+	return metrics.FromBuckets(total[:], int64(sum)), true
+}
+
+func labelsMatch(have map[string]string, want []Label) bool {
+	for _, w := range want {
+		if have[w.Key] != w.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// labelKeyExcept renders labels (minus one key) as a canonical map key.
+func labelKeyExcept(labels map[string]string, except string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != except {
+			keys = append(keys, k)
+		}
+	}
+	// Insertion sort: label sets are tiny.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(labels[k])
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}

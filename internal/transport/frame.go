@@ -1,0 +1,95 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Wire framing for the TCP transport: every envelope travels as one
+// length-prefixed frame —
+//
+//	+----------------+---------------------+
+//	| length (4B BE) | payload (JSON, len) |
+//	+----------------+---------------------+
+//
+// The explicit prefix buys three things over the old one-JSON-document
+// stream: the reader can size its buffer exactly and discard a partial
+// frame on connection death (receive atomicity — a torn write is never
+// half-delivered), the writer can batch many frames into one flush, and a
+// corrupt or hostile peer is cut off by the length bound before it can
+// balloon memory.
+
+// MaxFrame bounds one frame's payload. Envelopes are small (a protocol
+// message or an application payload); anything near the bound is a corrupt
+// or hostile stream.
+const MaxFrame = 1 << 20
+
+// ErrFrameTooLarge reports a frame whose declared length exceeds MaxFrame.
+var ErrFrameTooLarge = fmt.Errorf("transport: frame exceeds %d bytes", MaxFrame)
+
+// appendFrame encodes e as one frame appended to buf (reusing its
+// capacity) and returns the extended slice.
+func appendFrame(buf []byte, e Envelope) ([]byte, error) {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return buf, fmt.Errorf("transport: encode envelope: %w", err)
+	}
+	if len(payload) > MaxFrame {
+		return buf, ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...), nil
+}
+
+// writeFrame encodes e onto w as one frame.
+func writeFrame(w io.Writer, e Envelope) error {
+	buf, err := appendFrame(nil, e)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// frameReader decodes frames off one connection, reusing its payload
+// buffer across frames.
+type frameReader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+func newFrameReader(r io.Reader) *frameReader {
+	return &frameReader{r: bufio.NewReaderSize(r, 32<<10)}
+}
+
+// next reads one frame and unmarshals it into e. Any framing violation
+// (oversized or truncated frame, malformed JSON) is returned as an error;
+// the caller must drop the connection — after a violation the stream
+// offset can no longer be trusted.
+func (fr *frameReader) next(e *Envelope) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	if cap(fr.buf) < int(n) {
+		fr.buf = make([]byte, n)
+	}
+	fr.buf = fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, fr.buf); err != nil {
+		return err
+	}
+	*e = Envelope{}
+	if err := json.Unmarshal(fr.buf, e); err != nil {
+		return fmt.Errorf("transport: decode frame: %w", err)
+	}
+	return nil
+}

@@ -194,11 +194,23 @@ func TestTCPErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer a.Close()
-	if err := a.Send(protoEnv(1, protocol.MsgToken)); err == nil {
-		t.Error("dial to dead peer must fail")
+	// A dead peer no longer fails the send: the envelope queues and the
+	// writer goroutine retries the dial with backoff until Close.
+	if err := a.Send(protoEnv(1, protocol.MsgToken)); err != nil {
+		t.Errorf("send to dead peer must enqueue, got %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Stats().DialRetries == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("writer never attempted (and failed) a dial to the dead peer")
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 	if err := a.Send(Envelope{To: 1}); err == nil {
 		t.Error("invalid envelope must fail")
+	}
+	if err := a.Send(Envelope{To: 7, App: &AppData{}}); err == nil {
+		t.Error("out-of-range peer must fail")
 	}
 }
 
